@@ -1,0 +1,41 @@
+// Figure 4: single machine, IndexServe standalone vs. colocated with an
+// unrestricted CPU bully (mid = 24 threads, high = 48 threads) at 2,000 and
+// 4,000 QPS. Reports query latency percentiles (4a) and the CPU utilization
+// breakdown (4b).
+//
+// Paper shape: mid raises P99 to ~15/18 ms (up to +42%); high raises it to
+// ~349/354 ms (~29x), with 11-32% of queries timing out.
+#include "bench/harness.h"
+
+int main() {
+  using namespace perfiso;
+  using namespace perfiso::bench;
+
+  PrintHeader("Colocation without isolation", "Fig. 4a/4b",
+              "standalone p50=4ms p99=12ms; mid p99=15/18ms; high p99=349/354ms, "
+              "11-32% queries dropped");
+  PrintRowHeader();
+
+  const struct {
+    const char* label;
+    int bully_threads;
+    const char* note_2000;
+    const char* note_4000;
+  } kCases[] = {
+      {"standalone", 0, "p50=4 p99=12 idle~80%", "p50=4 p99=12 idle~60%"},
+      {"mid secondary (24 threads)", 24, "p99=15 (+3ms)", "p99=18 (+6ms)"},
+      {"high secondary (48 threads)", 48, "p99=349, drops~11%", "p99=354, drops~32%"},
+  };
+
+  for (const auto& c : kCases) {
+    for (double qps : {2000.0, 4000.0}) {
+      SingleBoxScenario scenario;
+      scenario.qps = qps;
+      scenario.cpu_bully_threads = c.bully_threads;
+      const SingleBoxResult result = RunSingleBox(scenario);
+      PrintRow(std::string(c.label) + " @" + std::to_string(static_cast<int>(qps)), result);
+      PrintPaperNote(qps == 2000 ? c.note_2000 : c.note_4000);
+    }
+  }
+  return 0;
+}

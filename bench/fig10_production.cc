@@ -1,0 +1,86 @@
+// Figure 10: production results — a large IndexServe cluster serving live
+// user queries while colocated with an ML-training batch job, over one hour.
+// The paper reports three time series: load (QPS), P99 at the TLA, and mean
+// CPU utilization across machines (averaging ~70%).
+//
+// Substitutions (documented in DESIGN.md): the paper's 650 machines are
+// represented by a sampled 6-column x 2-row cluster (every machine is
+// statistically identical, so per-machine load — not machine count — drives
+// the metrics), and the hour is compressed into 30 intervals of 2 simulated
+// seconds, each at the per-machine QPS of the corresponding production
+// minute. The load curve follows a smooth diurnal-style ramp like the
+// paper's plot.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/cluster/cluster.h"
+
+int main() {
+  using namespace perfiso;
+  using namespace perfiso::bench;
+
+  PrintHeader("Production colocation with ML training", "Fig. 10",
+              "650-machine cluster, 1 hour: P99 at TLA stays flat while mean CPU "
+              "utilization averages ~70%");
+
+  Simulator sim;
+  ClusterOptions options;
+  options.topology = ClusterTopology{6, 2, 4};
+  Cluster cluster(&sim, options);
+
+  cluster.ForEachIndexNode([&](IndexNodeRig& node) {
+    node.StartHdfsClient(HdfsClient::Options{});
+    MlTrainingJob::Options ml;
+    ml.worker_threads = 20;  // training parallelism does not scale to the whole box
+    node.StartMlTraining(ml);
+    PerfIsoConfig config;
+    config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+    config.blind.buffer_cores = 8;
+    config.io_limits.push_back(
+        IoOwnerLimit{kIoOwnerMlTraining, 100e6, 0, /*priority=*/2, 1.0, 0});
+    Status status = node.StartPerfIso(config);
+    if (!status.ok()) {
+      std::abort();
+    }
+  });
+
+  Rng trace_rng(606);
+  auto trace = GenerateTrace(TraceSpec{}, 20000, &trace_rng);
+
+  const int intervals = std::max(6, static_cast<int>(30 * BenchScale()));
+  const SimDuration interval_len = 2 * kSecond;
+  std::printf("%8s %10s %12s %12s %14s\n", "minute", "QPS/row", "TLA p99(ms)", "busy(%)",
+              "ml-progress(s)");
+
+  double total_busy = 0;
+  Rng arrival_rng(17);
+  double prev_progress = 0;
+  for (int interval = 0; interval < intervals; ++interval) {
+    // Diurnal-style curve between ~55% and 100% of per-row peak (4,000 QPS
+    // per machine corresponds to peak; production runs below peak).
+    const double phase = static_cast<double>(interval) / intervals;  // one full cycle
+    const double row_qps = 2 * 2600.0 + 2 * 1200.0 * std::sin(phase * 2 * M_PI);
+    OpenLoopClient client(&sim, trace, row_qps, arrival_rng.Fork(),
+                          [&cluster](const QueryWork& work, SimTime) {
+                            cluster.SubmitQuery(work);
+                          });
+    cluster.ResetStats();
+    const auto snaps = cluster.SnapshotAll();
+    client.Run(sim.Now(), interval_len);
+    sim.RunUntil(sim.Now() + interval_len);
+
+    const double busy = cluster.MeanBusyFractionSince(snaps);
+    total_busy += busy;
+    double progress = 0;
+    cluster.ForEachIndexNode([&](IndexNodeRig& node) {
+      progress += node.ml_training() != nullptr ? node.ml_training()->Progress() : 0;
+    });
+    std::printf("%8d %10.0f %12.2f %11.1f%% %14.1f\n", 2 * interval, row_qps / 2,
+                cluster.TlaLatency().P99(), busy * 100, progress - prev_progress);
+    prev_progress = progress;
+  }
+  std::printf("\nmean CPU utilization over the run: %.1f%%   (paper: ~70%%)\n",
+              100 * total_busy / intervals);
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace perfiso {
+namespace bench {
+
+double BenchScale() {
+  const char* env = std::getenv("PERFISO_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double scale = std::atof(env);
+  return std::clamp(scale > 0 ? scale : 1.0, 0.05, 100.0);
+}
+
+SingleBoxResult RunSingleBox(const SingleBoxScenario& scenario) {
+  Simulator sim;
+  IndexNodeOptions node = scenario.node;
+  node.seed = scenario.node_seed;
+  IndexNodeRig rig(&sim, node, "m0");
+
+  if (scenario.cpu_bully_threads > 0) {
+    rig.StartCpuBully(scenario.cpu_bully_threads);
+  }
+  if (scenario.disk_bully) {
+    rig.StartDiskBully(DiskBully::Options{});
+  }
+  if (scenario.perfiso.has_value()) {
+    Status status = rig.StartPerfIso(*scenario.perfiso);
+    if (!status.ok()) {
+      std::fprintf(stderr, "PerfIso start failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Rng trace_rng(scenario.trace_seed);
+  auto trace = GenerateTrace(TraceSpec{}, 20000, &trace_rng);
+  OpenLoopClient client(&sim, std::move(trace), scenario.qps, Rng(7),
+                        [&rig](const QueryWork& work, SimTime) {
+                          rig.server().SubmitQuery(work);
+                        });
+
+  const SimDuration measure =
+      std::max<SimDuration>(kSecond, static_cast<SimDuration>(
+                                         static_cast<double>(scenario.measure) * BenchScale()));
+  client.Run(0, scenario.warmup + measure);
+  sim.RunUntil(scenario.warmup);
+  rig.server().ResetStats();
+  const auto snap = rig.SnapshotUtilization();
+  const double progress_then = rig.SecondaryProgress();
+  sim.RunUntil(scenario.warmup + measure);
+
+  SingleBoxResult result;
+  const auto& stats = rig.server().stats();
+  result.p50_ms = stats.latency_ms.P50();
+  result.p95_ms = stats.latency_ms.P95();
+  result.p99_ms = stats.latency_ms.P99();
+  result.mean_ms = stats.latency_ms.Mean();
+  result.drop_fraction = stats.DropFraction();
+  result.primary_util = rig.UtilizationSince(snap, TenantClass::kPrimary);
+  result.secondary_util = rig.UtilizationSince(snap, TenantClass::kSecondary);
+  result.os_util = rig.UtilizationSince(snap, TenantClass::kOs);
+  result.idle_fraction = rig.IdleFractionSince(snap);
+  result.secondary_progress = rig.SecondaryProgress() - progress_then;
+  result.hedges = stats.hedges_issued;
+  result.queries = stats.submitted;
+  return result;
+}
+
+void PrintHeader(const std::string& title, const std::string& figure,
+                 const std::string& paper_summary) {
+  std::printf("================================================================================\n");
+  std::printf("%s  [%s]\n", title.c_str(), figure.c_str());
+  std::printf("paper: %s\n", paper_summary.c_str());
+  std::printf("scale: %.2f (set PERFISO_BENCH_SCALE to change)\n", BenchScale());
+  std::printf("================================================================================\n");
+}
+
+void PrintRowHeader() {
+  std::printf("%-34s %8s %8s %8s %7s | %6s %6s %5s %6s | %10s\n", "scenario", "p50(ms)",
+              "p95(ms)", "p99(ms)", "drop%", "prim%", "sec%", "os%", "idle%", "sec-prog");
+}
+
+void PrintRow(const std::string& label, const SingleBoxResult& result) {
+  std::printf("%-34s %8.2f %8.2f %8.2f %6.1f%% | %5.1f%% %5.1f%% %4.1f%% %5.1f%% | %9.1fs\n",
+              label.c_str(), result.p50_ms, result.p95_ms, result.p99_ms,
+              result.drop_fraction * 100, result.primary_util * 100,
+              result.secondary_util * 100, result.os_util * 100, result.idle_fraction * 100,
+              result.secondary_progress);
+}
+
+void PrintPaperNote(const std::string& note) {
+  std::printf("    paper: %s\n", note.c_str());
+}
+
+}  // namespace bench
+}  // namespace perfiso

@@ -1,0 +1,68 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Each bench binary reproduces one figure of the paper's evaluation (§6) by
+// running single-box or cluster scenarios and printing the same rows the
+// figure reports, alongside the paper's reference values. Durations scale
+// with the PERFISO_BENCH_SCALE environment variable (default 1.0).
+#ifndef PERFISO_BENCH_HARNESS_H_
+#define PERFISO_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/cluster/index_node.h"
+#include "src/perfiso/perfiso_config.h"
+#include "src/workload/query_trace.h"
+
+namespace perfiso {
+namespace bench {
+
+// Scale factor from PERFISO_BENCH_SCALE (clamped to [0.05, 100]).
+double BenchScale();
+
+// One single-machine colocation scenario (the setting of Figs. 4-8).
+struct SingleBoxScenario {
+  double qps = 2000;
+  int cpu_bully_threads = 0;           // 0 = standalone
+  std::optional<PerfIsoConfig> perfiso;  // nullopt = no isolation
+  bool disk_bully = false;
+  SimDuration warmup = kSecond;
+  SimDuration measure = 8 * kSecond;   // scaled by BenchScale()
+  uint64_t trace_seed = 2017;
+  uint64_t node_seed = 77;
+  IndexNodeOptions node;
+};
+
+struct SingleBoxResult {
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+  double drop_fraction = 0;
+  double primary_util = 0;
+  double secondary_util = 0;
+  double os_util = 0;
+  double idle_fraction = 0;
+  // Secondary work completed during the measurement window, in core-seconds.
+  double secondary_progress = 0;
+  int64_t hedges = 0;
+  int64_t queries = 0;
+};
+
+SingleBoxResult RunSingleBox(const SingleBoxScenario& scenario);
+
+// --- Output helpers -----------------------------------------------------------
+
+void PrintHeader(const std::string& title, const std::string& figure,
+                 const std::string& paper_summary);
+// Prints one labeled result row with the standard latency/util columns.
+void PrintRow(const std::string& label, const SingleBoxResult& result);
+void PrintRowHeader();
+// "paper: ..." annotation line under a row.
+void PrintPaperNote(const std::string& note);
+
+}  // namespace bench
+}  // namespace perfiso
+
+#endif  // PERFISO_BENCH_HARNESS_H_

@@ -1,0 +1,94 @@
+// Micro-benchmarks (google-benchmark) for the mechanisms PerfIso relies on
+// being cheap: the idle-core query, one controller poll, an affinity update,
+// and raw event-queue throughput. The paper's design requires "a low-latency,
+// low-overhead means of obtaining CPU utilization information" (§3.1.1).
+#include <benchmark/benchmark.h>
+
+#include "src/perfiso/controller.h"
+#include "src/platform/sim_platform.h"
+#include "src/sim/machine.h"
+#include "src/sim/simulator.h"
+#include "src/workload/bullies.h"
+
+namespace perfiso {
+namespace {
+
+struct ControllerRig {
+  Simulator sim;
+  MachineSpec spec;
+  std::unique_ptr<SimMachine> machine;
+  std::unique_ptr<SimPlatform> platform;
+  std::unique_ptr<CpuBully> bully;
+  std::unique_ptr<PerfIsoController> controller;
+
+  ControllerRig() {
+    machine = std::make_unique<SimMachine>(&sim, spec, "m0");
+    platform = std::make_unique<SimPlatform>(machine.get(), nullptr);
+    const JobId job = machine->CreateJob("secondary");
+    platform->AddSecondaryJob(job);
+    bully = std::make_unique<CpuBully>(machine.get(), job, 48);
+    PerfIsoConfig config;
+    config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+    controller = std::make_unique<PerfIsoController>(platform.get(), config);
+    if (!controller->Initialize().ok()) {
+      std::abort();
+    }
+  }
+};
+
+void BM_IdleCoreQuery(benchmark::State& state) {
+  ControllerRig rig;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.platform->IdleCores());
+  }
+}
+BENCHMARK(BM_IdleCoreQuery);
+
+void BM_ControllerPoll(benchmark::State& state) {
+  ControllerRig rig;
+  for (auto _ : state) {
+    rig.controller->Poll();
+  }
+}
+BENCHMARK(BM_ControllerPoll);
+
+void BM_AffinityUpdate(benchmark::State& state) {
+  ControllerRig rig;
+  int cores = 8;
+  for (auto _ : state) {
+    cores = cores == 8 ? 16 : 8;  // force a real update every iteration
+    benchmark::DoNotOptimize(
+        rig.platform->SetSecondaryAffinity(CpuSet::Range(48 - cores, 48)));
+  }
+}
+BENCHMARK(BM_AffinityUpdate);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.Schedule(i, [] {});
+    }
+    sim.RunUntilEmpty();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_SchedulerDispatch(benchmark::State& state) {
+  // Cost of one thread spawn+dispatch+completion round trip in the machine.
+  Simulator sim;
+  MachineSpec spec;
+  spec.context_switch = 0;
+  SimMachine machine(&sim, spec, "m0");
+  for (auto _ : state) {
+    machine.SpawnThread("w", TenantClass::kPrimary, JobId{}, 1000, nullptr);
+    sim.RunUntilEmpty();
+  }
+}
+BENCHMARK(BM_SchedulerDispatch);
+
+}  // namespace
+}  // namespace perfiso
+
+BENCHMARK_MAIN();

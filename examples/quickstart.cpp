@@ -1,0 +1,62 @@
+// Quickstart: protect a latency-sensitive service from a batch job with CPU
+// blind isolation, in ~40 lines.
+//
+//   build/examples/quickstart
+//
+// We assemble one simulated IndexServe machine (IndexNodeRig), colocate a
+// 48-thread CPU bully, turn PerfIso on, and replay a few seconds of query
+// traffic. The run prints tail latency and CPU utilization with and without
+// isolation.
+#include <cstdio>
+
+#include "src/cluster/index_node.h"
+#include "src/workload/query_trace.h"
+
+using namespace perfiso;
+
+namespace {
+
+void RunOnce(bool with_perfiso) {
+  Simulator sim;
+  IndexNodeRig node(&sim, IndexNodeOptions{}, "demo");
+
+  node.StartCpuBully(/*threads=*/48);
+  if (with_perfiso) {
+    PerfIsoConfig config;  // defaults: blind isolation, 8 buffer cores
+    Status status = node.StartPerfIso(config);
+    if (!status.ok()) {
+      std::fprintf(stderr, "PerfIso failed to start: %s\n", status.ToString().c_str());
+      return;
+    }
+  }
+
+  Rng trace_rng(1);
+  auto trace = GenerateTrace(TraceSpec{}, 10000, &trace_rng);
+  OpenLoopClient client(&sim, std::move(trace), /*queries_per_sec=*/2000, Rng(2),
+                        [&](const QueryWork& query, SimTime) {
+                          node.server().SubmitQuery(query);
+                        });
+  client.Run(0, 4 * kSecond);
+  sim.RunUntil(kSecond);  // warm-up
+  node.server().ResetStats();
+  const auto snapshot = node.SnapshotUtilization();
+  sim.RunUntil(4 * kSecond);
+
+  const auto& stats = node.server().stats();
+  std::printf("%-18s p50 %6.2f ms   p99 %7.2f ms   dropped %4.1f%%   CPU busy %5.1f%%   "
+              "batch work %.0f core-s\n",
+              with_perfiso ? "with PerfIso" : "without PerfIso", stats.latency_ms.P50(),
+              stats.latency_ms.P99(), stats.DropFraction() * 100,
+              (1 - node.IdleFractionSince(snapshot)) * 100, node.SecondaryProgress());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("IndexServe (2,000 QPS) colocated with a 48-thread CPU bully:\n\n");
+  RunOnce(/*with_perfiso=*/false);
+  RunOnce(/*with_perfiso=*/true);
+  std::printf("\nBlind isolation keeps the tail at its standalone level while the batch job\n"
+              "soaks up the idle cores (the paper's Fig. 8 in miniature).\n");
+  return 0;
+}

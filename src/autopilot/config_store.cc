@@ -1,0 +1,47 @@
+#include "src/autopilot/config_store.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace perfiso {
+
+ConfigStore::ConfigStore(std::string root_dir) : root_dir_(std::move(root_dir)) {
+  // Best-effort creation; Put reports failures if the directory is unusable.
+  ::mkdir(root_dir_.c_str(), 0755);
+}
+
+std::string ConfigStore::PathFor(const std::string& name) const {
+  return root_dir_ + "/" + name + ".cfg";
+}
+
+Status ConfigStore::Put(const std::string& name, const ConfigMap& config) {
+  if (name.empty() || name.find('/') != std::string::npos) {
+    return InvalidArgumentError("invalid config name: " + name);
+  }
+  PERFISO_RETURN_IF_ERROR(config.WriteFile(PathFor(name)));
+  auto it = watchers_.find(name);
+  if (it != watchers_.end()) {
+    for (const WatchFn& fn : it->second) {
+      fn(config);
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<ConfigMap> ConfigStore::Get(const std::string& name) const {
+  return ConfigMap::LoadFile(PathFor(name));
+}
+
+bool ConfigStore::Exists(const std::string& name) const {
+  struct stat st{};
+  return ::stat(PathFor(name).c_str(), &st) == 0;
+}
+
+void ConfigStore::Watch(const std::string& name, WatchFn fn) {
+  watchers_[name].push_back(std::move(fn));
+}
+
+}  // namespace perfiso

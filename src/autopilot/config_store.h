@@ -1,0 +1,48 @@
+// ConfigStore: cluster-wide configuration distribution, Autopilot-style.
+//
+// PerfIso reads its static limits from cluster-wide configuration files
+// distributed through Autopilot [14] and persists its parameters there so a
+// crashed instance "will resume its function by loading its state from disk"
+// (§4.2). This store keeps one key=value file per config name under a root
+// directory, writes atomically, and notifies watchers on updates.
+#ifndef PERFISO_SRC_AUTOPILOT_CONFIG_STORE_H_
+#define PERFISO_SRC_AUTOPILOT_CONFIG_STORE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/config.h"
+#include "src/util/status.h"
+
+namespace perfiso {
+
+class ConfigStore {
+ public:
+  explicit ConfigStore(std::string root_dir);
+
+  // Writes `config` durably under `name` and notifies watchers.
+  Status Put(const std::string& name, const ConfigMap& config);
+
+  // Loads the current contents of `name`.
+  StatusOr<ConfigMap> Get(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+
+  // Registers `fn` to run after every successful Put of `name`.
+  using WatchFn = std::function<void(const ConfigMap&)>;
+  void Watch(const std::string& name, WatchFn fn);
+
+  const std::string& root_dir() const { return root_dir_; }
+
+ private:
+  std::string PathFor(const std::string& name) const;
+
+  std::string root_dir_;
+  std::map<std::string, std::vector<WatchFn>> watchers_;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_AUTOPILOT_CONFIG_STORE_H_

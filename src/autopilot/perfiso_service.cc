@@ -1,0 +1,71 @@
+#include "src/autopilot/perfiso_service.h"
+
+#include "src/util/logging.h"
+
+namespace perfiso {
+
+PerfIsoService::PerfIsoService(Platform* platform, ConfigStore* store, std::string config_name,
+                               Simulator* sim)
+    : platform_(platform), store_(store), config_name_(std::move(config_name)), sim_(sim) {}
+
+Status PerfIsoService::Start() {
+  if (controller_ != nullptr) {
+    return OkStatus();
+  }
+  if (!store_->Exists(config_name_)) {
+    // First deployment: persist defaults so recovery always has a state file.
+    PERFISO_RETURN_IF_ERROR(store_->Put(config_name_, PerfIsoConfig().ToConfigMap()));
+  }
+  auto state = store_->Get(config_name_);
+  PERFISO_RETURN_IF_ERROR(state.status());
+  auto controller = PerfIsoController::Recover(platform_, *state);
+  PERFISO_RETURN_IF_ERROR(controller.status());
+  controller_ = std::move(*controller);
+  if (sim_ != nullptr) {
+    controller_->AttachToSimulator(sim_);
+  }
+  if (!watching_) {
+    watching_ = true;
+    store_->Watch(config_name_, [this](const ConfigMap& map) {
+      if (controller_ == nullptr) {
+        return;  // crashed; the new config is picked up at restart
+      }
+      auto config = PerfIsoConfig::FromConfigMap(map);
+      if (!config.ok()) {
+        PERFISO_LOG(kError) << "perfiso-service: bad config pushed: "
+                            << config.status().ToString();
+        return;
+      }
+      Status status = controller_->ApplyConfig(*config);
+      if (!status.ok()) {
+        PERFISO_LOG(kError) << "perfiso-service: config apply failed: " << status.ToString();
+      }
+    });
+  }
+  return OkStatus();
+}
+
+Status PerfIsoService::Stop() {
+  if (controller_ == nullptr) {
+    return OkStatus();
+  }
+  // Orderly shutdown restores OS defaults (unlike Crash()).
+  Status status = controller_->SetActive(false);
+  controller_->DetachFromSimulator();
+  controller_.reset();
+  return status;
+}
+
+void PerfIsoService::Crash() {
+  if (controller_ != nullptr) {
+    controller_->DetachFromSimulator();  // the process's timers die with it
+    controller_.reset();
+  }
+}
+
+Status PerfIsoService::UpdateConfig(const PerfIsoConfig& config) {
+  PERFISO_RETURN_IF_ERROR(store_->Put(config_name_, config.ToConfigMap()));
+  return OkStatus();  // the watcher applied it to the live controller
+}
+
+}  // namespace perfiso

@@ -1,0 +1,56 @@
+// PerfIsoService: PerfIso packaged as an Autopilot-managed service (§4.2).
+//
+// On Start it loads its configuration from the ConfigStore (its durable
+// state), builds a controller, and begins polling. Config updates pushed
+// through the store are applied at runtime; setting `enabled = false` is the
+// kill switch. Crash() models a process crash: the controller vanishes
+// without restoring OS defaults, and the next Start() recovers from disk —
+// the recoverability property of §4.2.
+#ifndef PERFISO_SRC_AUTOPILOT_PERFISO_SERVICE_H_
+#define PERFISO_SRC_AUTOPILOT_PERFISO_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/autopilot/config_store.h"
+#include "src/autopilot/service_manager.h"
+#include "src/perfiso/controller.h"
+#include "src/platform/platform.h"
+#include "src/sim/simulator.h"
+
+namespace perfiso {
+
+class PerfIsoService : public ManagedService {
+ public:
+  // `sim` may be null (the caller then drives controller polls manually).
+  PerfIsoService(Platform* platform, ConfigStore* store, std::string config_name,
+                 Simulator* sim);
+
+  // ManagedService:
+  const std::string& name() const override { return name_; }
+  Status Start() override;
+  Status Stop() override;
+  bool Healthy() const override { return controller_ != nullptr; }
+
+  // Simulates a process crash (no cleanup, no default restore).
+  void Crash();
+
+  // Issues a runtime command altering one limit (the paper's client app /
+  // runtime command path, §4). The change is persisted before being applied.
+  Status UpdateConfig(const PerfIsoConfig& config);
+
+  PerfIsoController* controller() { return controller_.get(); }
+
+ private:
+  Platform* platform_;
+  ConfigStore* store_;
+  std::string config_name_;
+  std::string name_ = "perfiso";
+  Simulator* sim_;
+  std::unique_ptr<PerfIsoController> controller_;
+  bool watching_ = false;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_AUTOPILOT_PERFISO_SERVICE_H_

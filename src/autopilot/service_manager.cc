@@ -1,0 +1,49 @@
+#include "src/autopilot/service_manager.h"
+
+#include "src/util/logging.h"
+
+namespace perfiso {
+
+void ServiceManager::Register(ManagedService* service) { services_.push_back(service); }
+
+Status ServiceManager::StartAll() {
+  for (ManagedService* service : services_) {
+    PERFISO_RETURN_IF_ERROR(service->Start());
+  }
+  return OkStatus();
+}
+
+Status ServiceManager::StopAll() {
+  Status first_error = OkStatus();
+  for (ManagedService* service : services_) {
+    Status status = service->Stop();
+    if (!status.ok() && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+void ServiceManager::Tick() {
+  for (ManagedService* service : services_) {
+    if (service->Healthy()) {
+      continue;
+    }
+    PERFISO_LOG(kWarning) << "autopilot: service " << service->name()
+                          << " unhealthy, restarting";
+    (void)service->Stop();
+    Status status = service->Start();
+    ++restarts_[service->name()];
+    if (!status.ok()) {
+      PERFISO_LOG(kError) << "autopilot: restart of " << service->name()
+                          << " failed: " << status.ToString();
+    }
+  }
+}
+
+int64_t ServiceManager::Restarts(const std::string& service_name) const {
+  auto it = restarts_.find(service_name);
+  return it == restarts_.end() ? 0 : it->second;
+}
+
+}  // namespace perfiso

@@ -1,0 +1,49 @@
+// Autopilot-style service supervision.
+//
+// Autopilot provides "a stable service management interface to start, stop,
+// and configure software" and restarts crashed services (§4.2). PerfIso runs
+// as one such service; these classes model exactly the lifecycle guarantees
+// the paper relies on (restart-on-crash, resume-from-disk).
+#ifndef PERFISO_SRC_AUTOPILOT_SERVICE_MANAGER_H_
+#define PERFISO_SRC_AUTOPILOT_SERVICE_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace perfiso {
+
+class ManagedService {
+ public:
+  virtual ~ManagedService() = default;
+  virtual const std::string& name() const = 0;
+  virtual Status Start() = 0;
+  virtual Status Stop() = 0;
+  virtual bool Healthy() const = 0;
+};
+
+class ServiceManager {
+ public:
+  // Services are owned by the caller and must outlive the manager.
+  void Register(ManagedService* service);
+
+  // Starts every registered service.
+  Status StartAll();
+  Status StopAll();
+
+  // One supervision pass: restarts any unhealthy service.
+  void Tick();
+
+  int64_t Restarts(const std::string& service_name) const;
+
+ private:
+  std::vector<ManagedService*> services_;
+  std::map<std::string, int64_t> restarts_;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_AUTOPILOT_SERVICE_MANAGER_H_

@@ -1,0 +1,188 @@
+#include "src/cluster/cluster.h"
+
+#include <cassert>
+
+namespace perfiso {
+
+struct Cluster::PendingQuery {
+  QueryWork work;
+  IndexServer::QueryDoneFn done;
+  SimTime tla_submit = 0;   // arrival at the TLA
+  SimTime mla_arrival = 0;  // arrival at the MLA
+  int mla_node = 0;
+  int row = 0;
+  int leaves_left = 0;
+  int tla_machine = 0;
+};
+
+Cluster::Cluster(Simulator* sim, const ClusterOptions& options)
+    : sim_(sim), options_(options), rng_(options.seed) {
+  const ClusterTopology& topo = options_.topology;
+  assert(topo.columns > 0 && topo.rows > 0 && topo.tla_machines > 0);
+  index_nodes_.reserve(static_cast<size_t>(topo.columns * topo.rows));
+  for (int row = 0; row < topo.rows; ++row) {
+    for (int col = 0; col < topo.columns; ++col) {
+      IndexNodeOptions node = options_.node;
+      node.seed = rng_.Next();
+      index_nodes_.push_back(std::make_unique<IndexNodeRig>(
+          sim, node, "is-r" + std::to_string(row) + "c" + std::to_string(col)));
+    }
+  }
+  tla_machines_.reserve(static_cast<size_t>(topo.tla_machines));
+  for (int i = 0; i < topo.tla_machines; ++i) {
+    tla_machines_.push_back(
+        std::make_unique<SimMachine>(sim, options_.node.machine, "tla-" + std::to_string(i)));
+  }
+  next_mla_in_row_.assign(static_cast<size_t>(topo.rows), 0);
+}
+
+SimDuration Cluster::Transit(int64_t bytes) const {
+  return options_.network.base_latency +
+         static_cast<SimDuration>(static_cast<double>(bytes) /
+                                  options_.network.bandwidth_bps * kSecond);
+}
+
+void Cluster::SubmitQuery(const QueryWork& work, IndexServer::QueryDoneFn done) {
+  ++queries_submitted_;
+  auto pending = std::make_shared<PendingQuery>();
+  pending->work = work;
+  pending->done = std::move(done);
+  pending->tla_submit = sim_->Now();
+  pending->tla_machine = static_cast<int>(next_tla_);
+  next_tla_ = (next_tla_ + 1) % tla_machines_.size();
+
+  // TLA request processing, then forward to a row (round-robin).
+  pending->row = next_row_;
+  next_row_ = (next_row_ + 1) % options_.topology.rows;
+  SimMachine* tla = tla_machines_[static_cast<size_t>(pending->tla_machine)].get();
+  tla->SpawnThread("tla-fwd", TenantClass::kPrimary, JobId{},
+                   FromMicros(options_.tla_cpu_us), [this, pending](SimTime) {
+                     // Pick the MLA within the row (TLA load balancing).
+                     const int cols = options_.topology.columns;
+                     auto& cursor = next_mla_in_row_[static_cast<size_t>(pending->row)];
+                     pending->mla_node = pending->row * cols + static_cast<int>(cursor);
+                     cursor = (cursor + 1) % static_cast<size_t>(cols);
+                     sim_->ScheduleAfter(Transit(options_.network.request_bytes),
+                                         [this, pending] { RunMla(pending); });
+                   });
+}
+
+void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
+  pending->mla_arrival = sim_->Now();
+  const int cols = options_.topology.columns;
+  pending->leaves_left = cols;
+  IndexNodeRig& mla = *index_nodes_[static_cast<size_t>(pending->mla_node)];
+
+  for (int col = 0; col < cols; ++col) {
+    const int leaf_index = pending->row * cols + col;
+    IndexNodeRig& leaf = *index_nodes_[static_cast<size_t>(leaf_index)];
+    const bool local = leaf_index == pending->mla_node;
+    const SimDuration out = local ? 0 : Transit(options_.network.request_bytes);
+
+    sim_->ScheduleAfter(out, [this, pending, &leaf, &mla, local] {
+      leaf.server().SubmitQuery(pending->work, [this, pending, &mla,
+                                                local](const QueryResult&) {
+        const SimDuration back = local ? 0 : Transit(options_.network.leaf_response_bytes);
+        sim_->ScheduleAfter(back, [this, pending, &mla] {
+          // Merge work on the MLA machine for this leaf response.
+          mla.machine().SpawnThread(
+              "mla-merge", TenantClass::kPrimary, mla.server().job(),
+              FromMicros(options_.mla_merge_cpu_us), [this, pending, &mla](SimTime) {
+                if (--pending->leaves_left > 0) {
+                  return;
+                }
+                // All leaves in: finalize on the MLA, reply to the TLA.
+                mla.machine().SpawnThread(
+                    "mla-final", TenantClass::kPrimary, mla.server().job(),
+                    FromMicros(options_.mla_finalize_cpu_us), [this, pending](SimTime now) {
+                      mla_latency_ms_.Add(ToMillis(now - pending->mla_arrival));
+                      sim_->ScheduleAfter(
+                          Transit(options_.network.final_response_bytes), [this, pending] {
+                            SimMachine* tla =
+                                tla_machines_[static_cast<size_t>(pending->tla_machine)].get();
+                            tla->SpawnThread(
+                                "tla-reply", TenantClass::kPrimary, JobId{},
+                                FromMicros(options_.tla_cpu_us), [this, pending](SimTime end) {
+                                  ++queries_completed_;
+                                  tla_latency_ms_.Add(ToMillis(end - pending->tla_submit));
+                                  if (pending->done) {
+                                    QueryResult result;
+                                    result.id = pending->work.id;
+                                    result.submit_time = pending->tla_submit;
+                                    result.finish_time = end;
+                                    result.latency_ms = ToMillis(end - pending->tla_submit);
+                                    pending->done(result);
+                                  }
+                                });
+                          });
+                    });
+              });
+        });
+      });
+    });
+  }
+}
+
+void Cluster::ForEachIndexNode(const std::function<void(IndexNodeRig&)>& fn) {
+  for (auto& node : index_nodes_) {
+    fn(*node);
+  }
+}
+
+LatencyRecorder Cluster::MergedLeafLatency() const {
+  LatencyRecorder merged;
+  for (const auto& node : index_nodes_) {
+    for (double sample : node->server().stats().latency_ms.samples()) {
+      merged.Add(sample);
+    }
+  }
+  return merged;
+}
+
+int64_t Cluster::leaf_drops() const {
+  int64_t drops = 0;
+  for (const auto& node : index_nodes_) {
+    drops += node->server().stats().TotalDropped();
+  }
+  return drops;
+}
+
+void Cluster::ResetStats() {
+  mla_latency_ms_.Clear();
+  tla_latency_ms_.Clear();
+  queries_submitted_ = 0;
+  queries_completed_ = 0;
+  for (auto& node : index_nodes_) {
+    node->server().ResetStats();
+  }
+}
+
+std::vector<IndexNodeRig::UtilizationSnapshot> Cluster::SnapshotAll() const {
+  std::vector<IndexNodeRig::UtilizationSnapshot> snaps;
+  snaps.reserve(index_nodes_.size());
+  for (const auto& node : index_nodes_) {
+    snaps.push_back(node->SnapshotUtilization());
+  }
+  return snaps;
+}
+
+double Cluster::MeanUtilizationSince(
+    const std::vector<IndexNodeRig::UtilizationSnapshot>& snaps, TenantClass tenant) const {
+  assert(snaps.size() == index_nodes_.size());
+  double sum = 0;
+  for (size_t i = 0; i < index_nodes_.size(); ++i) {
+    sum += index_nodes_[i]->UtilizationSince(snaps[i], tenant);
+  }
+  return index_nodes_.empty() ? 0 : sum / static_cast<double>(index_nodes_.size());
+}
+
+double Cluster::MeanBusyFractionSince(
+    const std::vector<IndexNodeRig::UtilizationSnapshot>& snaps) const {
+  double busy = 0;
+  busy += MeanUtilizationSince(snaps, TenantClass::kPrimary);
+  busy += MeanUtilizationSince(snaps, TenantClass::kSecondary);
+  busy += MeanUtilizationSince(snaps, TenantClass::kOs);
+  return busy;
+}
+
+}  // namespace perfiso

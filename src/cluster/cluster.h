@@ -1,0 +1,107 @@
+// The multi-machine IndexServe cluster of §5.3 / Fig. 3.
+//
+// Topology: the index is split into `columns` partitions, replicated across
+// `rows` rows; every IndexServe machine holds one (row, column) slice.
+// Top-level aggregators (TLAs) run on separate machines; they round-robin
+// incoming queries across rows and pick a mid-level aggregator (MLA) from the
+// chosen row. The MLA fans the query out to every column of its row
+// (including itself), aggregates the responses — the slowest leaf dictates
+// the response time [15] — and replies to the TLA.
+//
+// Latency is measured at each layer as in Fig. 9: per-leaf (IndexServer
+// internal), per-MLA (arrival at MLA to reply), and per-TLA (end to end).
+#ifndef PERFISO_SRC_CLUSTER_CLUSTER_H_
+#define PERFISO_SRC_CLUSTER_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/index_node.h"
+#include "src/util/stats.h"
+#include "src/workload/query_trace.h"
+
+namespace perfiso {
+
+struct NetworkSpec {
+  SimDuration base_latency = FromMicros(120);  // one-way, within the cluster
+  double bandwidth_bps = 10e9 / 8;             // 10 GbE
+  int64_t request_bytes = 2 * 1024;
+  int64_t leaf_response_bytes = 16 * 1024;
+  int64_t final_response_bytes = 32 * 1024;
+};
+
+struct ClusterTopology {
+  int columns = 22;
+  int rows = 2;
+  int tla_machines = 31;  // separate from the 44 index machines (75 total)
+};
+
+struct ClusterOptions {
+  ClusterTopology topology;
+  NetworkSpec network;
+  IndexNodeOptions node;
+  // Aggregation CPU costs on MLA/TLA machines.
+  double mla_merge_cpu_us = 40;    // per leaf response
+  double mla_finalize_cpu_us = 250;
+  double tla_cpu_us = 150;
+  uint64_t seed = 42;
+};
+
+class Cluster {
+ public:
+  Cluster(Simulator* sim, const ClusterOptions& options);
+
+  // Submits a query to a TLA (round-robin); `done` fires with the end-to-end
+  // result at the TLA.
+  void SubmitQuery(const QueryWork& work, IndexServer::QueryDoneFn done = nullptr);
+
+  // Runs `fn` on every index node (e.g. to start bullies or PerfIso).
+  void ForEachIndexNode(const std::function<void(IndexNodeRig&)>& fn);
+
+  int NumIndexNodes() const { return static_cast<int>(index_nodes_.size()); }
+  IndexNodeRig& index_node(int i) { return *index_nodes_[static_cast<size_t>(i)]; }
+
+  // --- Per-layer latency distributions (ms), as reported in Fig. 9 ----------
+  // Merged across all leaves / MLAs / TLAs.
+  LatencyRecorder MergedLeafLatency() const;
+  const LatencyRecorder& MlaLatency() const { return mla_latency_ms_; }
+  const LatencyRecorder& TlaLatency() const { return tla_latency_ms_; }
+  int64_t queries_submitted() const { return queries_submitted_; }
+  int64_t queries_completed() const { return queries_completed_; }
+  int64_t leaf_drops() const;
+
+  void ResetStats();
+
+  // Mean utilization fraction across index machines for a tenant since the
+  // snapshots were taken with SnapshotAll().
+  std::vector<IndexNodeRig::UtilizationSnapshot> SnapshotAll() const;
+  double MeanUtilizationSince(const std::vector<IndexNodeRig::UtilizationSnapshot>& snaps,
+                              TenantClass tenant) const;
+  double MeanBusyFractionSince(
+      const std::vector<IndexNodeRig::UtilizationSnapshot>& snaps) const;
+
+ private:
+  struct PendingQuery;
+
+  // Network transit time for a message of `bytes`.
+  SimDuration Transit(int64_t bytes) const;
+  void RunMla(const std::shared_ptr<PendingQuery>& pending);
+
+  Simulator* sim_;
+  ClusterOptions options_;
+  Rng rng_;
+  std::vector<std::unique_ptr<IndexNodeRig>> index_nodes_;  // row-major [row][col]
+  std::vector<std::unique_ptr<SimMachine>> tla_machines_;
+  size_t next_tla_ = 0;
+  int next_row_ = 0;
+  std::vector<size_t> next_mla_in_row_;
+  LatencyRecorder mla_latency_ms_;
+  LatencyRecorder tla_latency_ms_;
+  int64_t queries_submitted_ = 0;
+  int64_t queries_completed_ = 0;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_CLUSTER_CLUSTER_H_

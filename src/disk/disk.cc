@@ -1,0 +1,131 @@
+#include "src/disk/disk.h"
+
+#include <cassert>
+#include <utility>
+
+namespace perfiso {
+
+DiskSpec DiskSpec::Ssd() {
+  DiskSpec spec;
+  spec.model = "ssd-500g";
+  spec.read_latency = FromMicros(80);
+  spec.write_latency = FromMicros(60);
+  spec.seek_penalty = 0;
+  spec.bandwidth_bps = 550e6;
+  spec.concurrency = 8;
+  return spec;
+}
+
+DiskSpec DiskSpec::Hdd() {
+  DiskSpec spec;
+  spec.model = "hdd-2t-7200";
+  spec.read_latency = FromMicros(500);
+  spec.write_latency = FromMicros(500);
+  spec.seek_penalty = FromMillis(7);
+  spec.bandwidth_bps = 160e6;
+  spec.concurrency = 1;
+  return spec;
+}
+
+DiskDevice::DiskDevice(Simulator* sim, DiskSpec spec, std::string name)
+    : sim_(sim), spec_(std::move(spec)), name_(std::move(name)) {
+  assert(spec_.concurrency > 0 && spec_.bandwidth_bps > 0);
+}
+
+SimDuration DiskDevice::ServiceTime(const IoRequest& request) const {
+  SimDuration service =
+      request.op == IoOp::kRead ? spec_.read_latency : spec_.write_latency;
+  if (!request.sequential) {
+    service += spec_.seek_penalty;
+  }
+  service += static_cast<SimDuration>(static_cast<double>(request.bytes) /
+                                      spec_.bandwidth_bps * kSecond);
+  return service;
+}
+
+void DiskDevice::Submit(IoRequest request) {
+  queue_.push_back(std::move(request));
+  TryStart();
+}
+
+void DiskDevice::TryStart() {
+  while (active_ < spec_.concurrency && !queue_.empty()) {
+    IoRequest request = std::move(queue_.front());
+    queue_.pop_front();
+    const SimDuration service = ServiceTime(request);
+    last_was_sequential_ = request.sequential;
+    ++active_;
+    busy_ns_ += service;
+    sim_->ScheduleAfter(service, [this, request = std::move(request)]() mutable {
+      --active_;
+      ++completed_ops_;
+      completed_bytes_ += request.bytes;
+      if (request.on_complete) {
+        request.on_complete(sim_->Now());
+      }
+      TryStart();
+    });
+  }
+}
+
+StripedVolume::StripedVolume(Simulator* sim, const DiskSpec& spec, int num_drives,
+                             std::string name)
+    : sim_(sim), name_(std::move(name)) {
+  assert(num_drives > 0);
+  drives_.reserve(static_cast<size_t>(num_drives));
+  for (int i = 0; i < num_drives; ++i) {
+    drives_.push_back(
+        std::make_unique<DiskDevice>(sim, spec, name_ + "-d" + std::to_string(i)));
+  }
+}
+
+void StripedVolume::Submit(IoRequest request) {
+  request.submit_time = sim_->Now();
+  OwnerIoStats& stats = owner_stats_[request.owner];
+  auto user_cb = std::move(request.on_complete);
+  const SimTime submit_time = request.submit_time;
+  const int64_t bytes = request.bytes;
+  request.on_complete = [this, &stats, submit_time, bytes,
+                         user_cb = std::move(user_cb)](SimTime now) {
+    ++stats.ops;
+    stats.bytes += bytes;
+    stats.latency_us.Add(ToMicros(now - submit_time));
+    if (user_cb) {
+      user_cb(now);
+    }
+  };
+  drives_[next_drive_]->Submit(std::move(request));
+  next_drive_ = (next_drive_ + 1) % drives_.size();
+}
+
+size_t StripedVolume::TotalQueueDepth() const {
+  size_t depth = 0;
+  for (const auto& drive : drives_) {
+    depth += drive->QueueDepth();
+  }
+  return depth;
+}
+
+int64_t StripedVolume::CompletedOps() const {
+  int64_t ops = 0;
+  for (const auto& drive : drives_) {
+    ops += drive->CompletedOps();
+  }
+  return ops;
+}
+
+int64_t StripedVolume::CompletedBytes() const {
+  int64_t bytes = 0;
+  for (const auto& drive : drives_) {
+    bytes += drive->CompletedBytes();
+  }
+  return bytes;
+}
+
+const OwnerIoStats& StripedVolume::OwnerStats(int owner) const { return owner_stats_[owner]; }
+
+double StripedVolume::NominalBandwidth() const {
+  return drives_.empty() ? 0 : drives_[0]->spec().bandwidth_bps * num_drives();
+}
+
+}  // namespace perfiso

@@ -1,0 +1,314 @@
+#include "src/indexserve/index_server.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace perfiso {
+
+struct IndexServer::QueryState {
+  QueryWork work;
+  QueryDoneFn done;
+  Rng rng{0};
+  SimTime arrival = 0;
+  int chunks_left = 0;
+  std::vector<bool> chunk_done;
+  std::vector<bool> chunk_hedged;
+  int snippet_reads_left = 0;
+  std::function<void(SimTime)> snippet_chain;
+  bool finished = false;
+};
+
+namespace {
+
+// Scales a microsecond cost by the query's size factor; at least 1 us.
+SimDuration ScaledUs(double us, double size_factor) {
+  return FromMicros(std::max(1.0, us * size_factor));
+}
+
+}  // namespace
+
+IndexServer::IndexServer(SimMachine* machine, IoScheduler* ssd, IoScheduler* hdd,
+                         const IndexServeConfig& config, uint64_t seed)
+    : machine_(machine), ssd_(ssd), hdd_(hdd), config_(config), rng_(seed), seed_(seed) {
+  assert(machine_ != nullptr && ssd_ != nullptr);
+  job_ = machine_->CreateJob("indexserve");
+  (void)machine_->AddJobMemory(job_, config_.working_set_bytes);
+  ssd_->RegisterOwner(kIoOwnerIndexData, "indexserve-data", /*priority=*/0, /*weight=*/8);
+  if (hdd_ != nullptr) {
+    hdd_->RegisterOwner(kIoOwnerIndexLog, "indexserve-log", /*priority=*/0, /*weight=*/4);
+  }
+}
+
+void IndexServer::ResetStats() { stats_ = Stats{}; }
+
+void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
+  ++stats_.submitted;
+  if (inflight_ >= config_.max_inflight) {
+    ++stats_.dropped_admission;
+    if (done) {
+      QueryResult result;
+      result.id = work.id;
+      result.submit_time = machine_->sim()->Now();
+      result.finish_time = result.submit_time;
+      result.dropped = true;
+      done(result);
+    }
+    return;
+  }
+  ++inflight_;
+  auto q = std::make_shared<QueryState>();
+  q->work = work;
+  q->done = std::move(done);
+  // Mix in the server identity: each machine holds a different index
+  // partition, so the same query does *different* work on each leaf. This is
+  // what makes the MLA see a max over independent leaf latencies [15].
+  q->rng = Rng(work.seed ^ (seed_ * 0x9e3779b97f4a7c15ULL));
+  q->arrival = machine_->sim()->Now();
+  q->chunks_left = work.fanout;
+  q->chunk_done.assign(static_cast<size_t>(work.fanout), false);
+  q->chunk_hedged.assign(static_cast<size_t>(work.fanout), false);
+
+  // Network receive path runs in kernel context (OS tenant, outside the job).
+  machine_->SpawnThread("is-recv", TenantClass::kOs, JobId{},
+                        ScaledUs(config_.receive_cpu_us, 1.0),
+                        [this, q](SimTime) { StartParse(q); });
+}
+
+bool IndexServer::ExpireIfOverdue(const std::shared_ptr<QueryState>& q) {
+  if (q->finished) {
+    return true;
+  }
+  // Server-side shedding: once a query is past its deadline, further work is
+  // wasted; the paper observes that heavy drops *reduce* primary CPU
+  // utilization (§6.1.2), which implies abandoned processing.
+  if (machine_->sim()->Now() - q->arrival <= config_.timeout) {
+    return false;
+  }
+  q->finished = true;
+  --inflight_;
+  ++stats_.dropped_timeout;
+  if (q->done) {
+    QueryResult result;
+    result.id = q->work.id;
+    result.submit_time = q->arrival;
+    result.finish_time = machine_->sim()->Now();
+    result.latency_ms = ToMillis(result.finish_time - q->arrival);
+    result.dropped = true;
+    q->done(result);
+  }
+  return true;
+}
+
+void IndexServer::StartParse(const std::shared_ptr<QueryState>& q) {
+  if (ExpireIfOverdue(q)) {
+    return;
+  }
+  // Parse and query-understanding run as one burst on the same pool thread
+  // (no intermediate wake point).
+  machine_->SpawnThread(
+      "is-parse", TenantClass::kPrimary, job_,
+      ScaledUs(config_.parse_cpu_us + config_.understand_cpu_us, q->work.size_factor),
+      [this, q](SimTime) { StartFanout(q); });
+}
+
+void IndexServer::StartFanout(const std::shared_ptr<QueryState>& q) {
+  if (ExpireIfOverdue(q)) {
+    return;
+  }
+  // All chunk workers wake within the same instant — this is the burst the
+  // buffer cores exist to absorb.
+  for (int chunk = 0; chunk < q->work.fanout; ++chunk) {
+    StartChunk(q, chunk, /*is_hedge=*/false);
+  }
+}
+
+void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bool is_hedge) {
+  const SimDuration cpu = FromMicros(std::max(
+      1.0, q->rng.LogNormal(std::log(config_.chunk_cpu_median_us), config_.chunk_cpu_sigma) *
+               q->work.size_factor));
+  const bool miss = q->rng.Bernoulli(config_.chunk_miss_rate);
+
+  machine_->SpawnThread("is-chunk", TenantClass::kPrimary, job_, cpu,
+                        [this, q, chunk, miss](SimTime) {
+                          if (q->finished) {
+                            return;
+                          }
+                          if (!miss) {
+                            ChunkDone(q, chunk);
+                            return;
+                          }
+                          IoRequest read;
+                          read.owner = kIoOwnerIndexData;
+                          read.op = IoOp::kRead;
+                          read.bytes = config_.chunk_read_bytes;
+                          read.sequential = false;
+                          read.on_complete = [this, q, chunk](SimTime) {
+                            machine_->SpawnThread(
+                                "is-chunk-post", TenantClass::kPrimary, job_,
+                                ScaledUs(config_.chunk_post_read_cpu_us, q->work.size_factor),
+                                [this, q, chunk](SimTime) { ChunkDone(q, chunk); });
+                          };
+                          ssd_->Submit(std::move(read));
+                        });
+
+  if (!is_hedge) {
+    ++chunks_started_;
+  }
+  // Hedge slow lookups once: if this chunk has not completed after
+  // hedge_delay, launch a duplicate lookup and take whichever finishes first.
+  // The hedge budget caps the added load under systemic slowness.
+  if (!is_hedge && config_.hedging_enabled) {
+    machine_->sim()->ScheduleAfter(config_.hedge_delay, [this, q, chunk] {
+      const bool budget_ok =
+          static_cast<double>(stats_.hedges_issued) <
+          config_.hedge_budget_fraction * static_cast<double>(chunks_started_);
+      if (!q->finished && !q->chunk_done[static_cast<size_t>(chunk)] &&
+          !q->chunk_hedged[static_cast<size_t>(chunk)] && budget_ok) {
+        q->chunk_hedged[static_cast<size_t>(chunk)] = true;
+        ++stats_.hedges_issued;
+        StartChunk(q, chunk, /*is_hedge=*/true);
+      }
+    });
+  }
+}
+
+void IndexServer::ChunkDone(const std::shared_ptr<QueryState>& q, int chunk) {
+  if (q->finished || q->chunk_done[static_cast<size_t>(chunk)]) {
+    return;  // expired, or the other copy of a hedged lookup already finished
+  }
+  q->chunk_done[static_cast<size_t>(chunk)] = true;
+  if (--q->chunks_left == 0) {
+    StartRank(q);
+  }
+}
+
+void IndexServer::StartRank(const std::shared_ptr<QueryState>& q) {
+  if (ExpireIfOverdue(q)) {
+    return;
+  }
+  const SimDuration cpu = FromMicros(std::max(
+      1.0, q->rng.LogNormal(std::log(config_.rank_cpu_median_us), config_.rank_cpu_sigma) *
+               q->work.size_factor));
+  machine_->SpawnThread("is-rank", TenantClass::kPrimary, job_, cpu,
+                        [this, q](SimTime) { StartSnippets(q); });
+}
+
+void IndexServer::StartSnippets(const std::shared_ptr<QueryState>& q) {
+  if (ExpireIfOverdue(q)) {
+    return;
+  }
+  if (config_.snippet_reads <= 0) {
+    FinishQuery(q);
+    return;
+  }
+  // Dependent document lookups: each read's target comes from the previous
+  // one, so they serialize (this is deliberately on the critical path).
+  q->snippet_reads_left = config_.snippet_reads;
+  IoRequest read;
+  read.owner = kIoOwnerIndexData;
+  read.op = IoOp::kRead;
+  read.bytes = config_.snippet_read_bytes;
+  read.sequential = false;
+  read.on_complete = [this, q](SimTime) {
+    if (q->finished) {
+      return;
+    }
+    if (--q->snippet_reads_left > 0) {
+      IoRequest next;
+      next.owner = kIoOwnerIndexData;
+      next.op = IoOp::kRead;
+      next.bytes = config_.snippet_read_bytes;
+      next.sequential = false;
+      next.on_complete = q->snippet_chain;
+      ssd_->Submit(std::move(next));
+      return;
+    }
+    machine_->SpawnThread("is-snippet", TenantClass::kPrimary, job_,
+                          ScaledUs(config_.snippet_cpu_us, q->work.size_factor),
+                          [this, q](SimTime) { FinishQuery(q); });
+  };
+  q->snippet_chain = read.on_complete;
+  ssd_->Submit(std::move(read));
+}
+
+void IndexServer::FinishQuery(const std::shared_ptr<QueryState>& q) {
+  if (q->finished) {
+    return;
+  }
+  // Completion requires a log append; if the log pipeline is backed up past
+  // its cap (HDD saturated), the query stalls here until space frees up.
+  if (hdd_ != nullptr &&
+      log_buffered_bytes_ + log_inflight_bytes_ >= config_.log_buffer_cap_bytes) {
+    ++stats_.log_stalls;
+    log_waiters_.push_back(q);
+    return;
+  }
+  AppendLog(q);
+  CompleteNow(q);
+}
+
+void IndexServer::CompleteNow(const std::shared_ptr<QueryState>& q) {
+  if (q->finished) {
+    return;
+  }
+  q->finished = true;
+  --inflight_;
+  // Network send path (OS tenant).
+  machine_->SpawnThread("is-send", TenantClass::kOs, JobId{},
+                        ScaledUs(config_.send_cpu_us, 1.0), nullptr);
+
+  QueryResult result;
+  result.id = q->work.id;
+  result.submit_time = q->arrival;
+  result.finish_time = machine_->sim()->Now();
+  const SimDuration latency = result.finish_time - q->arrival;
+  result.latency_ms = ToMillis(latency);
+  result.dropped = latency > config_.timeout;
+  if (result.dropped) {
+    ++stats_.dropped_timeout;
+  } else {
+    ++stats_.completed;
+    stats_.latency_ms.Add(result.latency_ms);
+  }
+  if (q->done) {
+    q->done(result);
+  }
+}
+
+void IndexServer::AppendLog(const std::shared_ptr<QueryState>& q) {
+  if (hdd_ == nullptr) {
+    return;
+  }
+  log_buffered_bytes_ +=
+      static_cast<int64_t>(static_cast<double>(config_.log_bytes_per_query) *
+                           q->work.size_factor);
+  MaybeFlushLog();
+}
+
+void IndexServer::MaybeFlushLog() {
+  while (log_buffered_bytes_ >= config_.log_flush_bytes) {
+    const int64_t flush_bytes = config_.log_flush_bytes;
+    log_buffered_bytes_ -= flush_bytes;
+    log_inflight_bytes_ += flush_bytes;
+    IoRequest write;
+    write.owner = kIoOwnerIndexLog;
+    write.op = IoOp::kWrite;
+    write.bytes = flush_bytes;
+    write.sequential = true;
+    write.on_complete = [this, flush_bytes](SimTime) {
+      log_inflight_bytes_ -= flush_bytes;
+      // Admit stalled completions now that buffer space is available.
+      while (!log_waiters_.empty() &&
+             log_buffered_bytes_ + log_inflight_bytes_ < config_.log_buffer_cap_bytes) {
+        auto waiter = log_waiters_.front();
+        log_waiters_.pop_front();
+        AppendLog(waiter);
+        CompleteNow(waiter);
+      }
+    };
+    hdd_->Submit(std::move(write));
+  }
+}
+
+}  // namespace perfiso

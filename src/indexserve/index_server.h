@@ -1,0 +1,174 @@
+// IndexServe: a model of the Bing web-index serving node used as the paper's
+// primary tenant.
+//
+// The real service is proprietary; this model reproduces the properties
+// PerfIso depends on (§2.1):
+//   1. layered, parallel query processing — receive -> parse -> parallel
+//      chunk lookups (fan-out) -> rank -> snippet generation -> send;
+//   2. millisecond service times with a strict tail (standalone: ~4 ms
+//      median, ~12 ms P99, §6.1.1);
+//   3. extreme burstiness — a query wakes its whole fan-out within
+//      microseconds, so many workers become ready almost simultaneously;
+//   4. hedged requests: slow chunk lookups are retried in parallel, which is
+//      why the paper observes primary CPU *rising* under interference
+//      ("IndexServe tries to compensate ... by starting more workers",
+//      §6.1.2);
+//   5. SSD reads on index-cache misses (the index slice lives on the striped
+//      SSD volume, exclusive to the primary) and asynchronous query logging
+//      to the shared HDD volume, with bounded buffering — a saturated HDD
+//      eventually backpressures query completion, which is the channel disk
+//      bullies hurt the primary through.
+//
+// Queries time out (client-side) at `timeout`; timed-out queries count as
+// dropped and are excluded from the latency distribution, as in the paper.
+#ifndef PERFISO_SRC_INDEXSERVE_INDEX_SERVER_H_
+#define PERFISO_SRC_INDEXSERVE_INDEX_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/disk/io_scheduler.h"
+#include "src/sim/machine.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/workload/query_trace.h"
+
+namespace perfiso {
+
+// Well-known I/O owner ids for the primary's traffic.
+inline constexpr int kIoOwnerIndexData = 1;  // SSD index reads
+inline constexpr int kIoOwnerIndexLog = 2;   // HDD query logging
+
+struct IndexServeConfig {
+  // --- CPU stage costs (microseconds, multiplied by the query size factor) --
+  double receive_cpu_us = 100;  // network receive path, charged as OS time
+  double parse_cpu_us = 200;
+  // Query-understanding stage (spell/intent/rewrite), serialized before the
+  // fan-out.
+  double understand_cpu_us = 500;
+  // Chunk lookup cost ~ LogNormal(ln(chunk_cpu_median_us), chunk_cpu_sigma).
+  double chunk_cpu_median_us = 210;
+  double chunk_cpu_sigma = 0.85;
+  double chunk_post_read_cpu_us = 30;  // decompress/score after an SSD read
+  // Rank cost ~ LogNormal(ln(rank_cpu_median_us), rank_cpu_sigma).
+  double rank_cpu_median_us = 1400;
+  double rank_cpu_sigma = 0.40;
+  double snippet_cpu_us = 300;
+  double send_cpu_us = 100;  // network send path, charged as OS time
+
+  // --- Index cache / SSD ----------------------------------------------------
+  double chunk_miss_rate = 0.5;  // fraction of lookups that read the SSD
+  int64_t chunk_read_bytes = 64 * 1024;
+  // Snippet/document reads are issued sequentially (dependent lookups).
+  int snippet_reads = 3;
+  int64_t snippet_read_bytes = 64 * 1024;
+
+  // --- Hedging (tail-latency compensation) ----------------------------------
+  bool hedging_enabled = true;
+  SimDuration hedge_delay = FromMillis(10);
+  // At most this fraction of started chunk lookups may be hedged (a budget,
+  // as in TPC/DDS-style hedging [15, 17]); prevents hedge storms from
+  // melting the server when every lookup is slow.
+  double hedge_budget_fraction = 0.1;
+
+  // --- Client timeout & admission -------------------------------------------
+  SimDuration timeout = FromMillis(450);
+  int max_inflight = 1000;
+
+  // --- HDD logging -----------------------------------------------------------
+  int64_t log_bytes_per_query = 2048;
+  int64_t log_flush_bytes = 256 * 1024;
+  // Completions stall when this much log data is waiting to reach the HDD.
+  int64_t log_buffer_cap_bytes = 4 * 1024 * 1024;
+
+  // Fixed working set (index cache): the paper's setup uses ~110 GB.
+  int64_t working_set_bytes = 110LL * 1024 * 1024 * 1024;
+};
+
+struct QueryResult {
+  uint64_t id = 0;
+  SimTime submit_time = 0;
+  SimTime finish_time = 0;
+  bool dropped = false;  // timed out or rejected at admission
+  double latency_ms = 0;
+};
+
+class IndexServer {
+ public:
+  using QueryDoneFn = std::function<void(const QueryResult&)>;
+
+  // `ssd` may not be null (index reads). `hdd` may be null, disabling the
+  // logging path (useful for CPU-only experiments and unit tests).
+  IndexServer(SimMachine* machine, IoScheduler* ssd, IoScheduler* hdd,
+              const IndexServeConfig& config, uint64_t seed);
+
+  IndexServer(const IndexServer&) = delete;
+  IndexServer& operator=(const IndexServer&) = delete;
+
+  // Processes one query; `done` (optional) fires at completion or drop.
+  void SubmitQuery(const QueryWork& work, QueryDoneFn done = nullptr);
+
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t completed = 0;          // within the timeout
+    int64_t dropped_timeout = 0;
+    int64_t dropped_admission = 0;
+    int64_t hedges_issued = 0;
+    int64_t log_stalls = 0;
+    LatencyRecorder latency_ms;     // completed queries only
+
+    int64_t TotalDropped() const { return dropped_timeout + dropped_admission; }
+    double DropFraction() const {
+      return submitted == 0 ? 0 : static_cast<double>(TotalDropped()) / submitted;
+    }
+  };
+
+  const Stats& stats() const { return stats_; }
+  // Clears counters/latencies (used to discard warm-up, §5.3).
+  void ResetStats();
+
+  int inflight() const { return inflight_; }
+  JobId job() const { return job_; }
+  SimMachine* machine() const { return machine_; }
+  const IndexServeConfig& config() const { return config_; }
+
+ private:
+  struct QueryState;
+
+  // Abandons the query if it is past its deadline; returns true if the query
+  // is no longer live (expired now or earlier).
+  bool ExpireIfOverdue(const std::shared_ptr<QueryState>& q);
+  void StartParse(const std::shared_ptr<QueryState>& q);
+  void StartFanout(const std::shared_ptr<QueryState>& q);
+  void StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bool is_hedge);
+  void ChunkDone(const std::shared_ptr<QueryState>& q, int chunk);
+  void StartRank(const std::shared_ptr<QueryState>& q);
+  void StartSnippets(const std::shared_ptr<QueryState>& q);
+  void FinishQuery(const std::shared_ptr<QueryState>& q);
+  void CompleteNow(const std::shared_ptr<QueryState>& q);
+  void AppendLog(const std::shared_ptr<QueryState>& q);
+  void MaybeFlushLog();
+
+  SimMachine* machine_;
+  IoScheduler* ssd_;
+  IoScheduler* hdd_;
+  IndexServeConfig config_;
+  Rng rng_;
+  uint64_t seed_;
+  JobId job_;
+  Stats stats_;
+  int inflight_ = 0;
+  int64_t chunks_started_ = 0;  // cumulative, for the hedge budget
+
+  int64_t log_buffered_bytes_ = 0;   // accumulated, not yet in a flush
+  int64_t log_inflight_bytes_ = 0;   // handed to the HDD, not yet durable
+  std::deque<std::shared_ptr<QueryState>> log_waiters_;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_INDEXSERVE_INDEX_SERVER_H_

@@ -1,0 +1,90 @@
+// PerfIsoController: the user-mode service of §4.
+//
+// Polling and updating are split: utilization is polled in a tight loop, but
+// control knobs are only touched when the measured state demands a change
+// ("constantly updating certain settings can become harmful", §4.1). The
+// controller is platform-agnostic — the caller drives Poll(), either from a
+// simulator PeriodicTask or from a real-time thread.
+#ifndef PERFISO_SRC_PERFISO_CONTROLLER_H_
+#define PERFISO_SRC_PERFISO_CONTROLLER_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/perfiso/io_throttler.h"
+#include "src/perfiso/perfiso_config.h"
+#include "src/perfiso/policy.h"
+#include "src/platform/platform.h"
+#include "src/sim/simulator.h"
+
+namespace perfiso {
+
+class PerfIsoController {
+ public:
+  PerfIsoController(Platform* platform, const PerfIsoConfig& config);
+
+  PerfIsoController(const PerfIsoController&) = delete;
+  PerfIsoController& operator=(const PerfIsoController&) = delete;
+
+  // Applies static settings (initial affinity/caps, I/O limits, egress).
+  // Must be called once before polling.
+  Status Initialize();
+
+  // One control iteration (CPU). Cheap when nothing changed.
+  void Poll();
+
+  // One I/O-throttler iteration; drive at config.io_poll_interval.
+  void PollIo();
+
+  // Convenience: arms periodic tasks on a simulator for both loops.
+  void AttachToSimulator(Simulator* sim);
+  void DetachFromSimulator();
+
+  // Kill switch (§4.2): deactivate restores OS defaults immediately; PerfIso
+  // can later be re-activated and resumes from its configuration.
+  Status SetActive(bool active);
+  bool active() const { return active_; }
+
+  // Runtime reconfiguration (§4: "resource limits can be altered
+  // independently at runtime by issuing a command to PerfIso").
+  Status ApplyConfig(const PerfIsoConfig& config);
+  const PerfIsoConfig& config() const { return config_; }
+
+  // Crash-recovery support (§4.2): the controller's durable state is its
+  // config; recovery = construct + Initialize from the loaded map.
+  ConfigMap SaveState() const { return config_.ToConfigMap(); }
+  static StatusOr<std::unique_ptr<PerfIsoController>> Recover(Platform* platform,
+                                                              const ConfigMap& state);
+
+  struct Stats {
+    int64_t polls = 0;
+    int64_t affinity_updates = 0;
+    int64_t rate_updates = 0;
+    int64_t memory_checks = 0;
+    int64_t memory_kills = 0;
+    int64_t io_polls = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  int secondary_cores() const;
+  const IoThrottler* io_throttler() const { return io_throttler_.get(); }
+
+ private:
+  Status ApplyCpuMode();
+  Status RestoreDefaults();
+  void CheckMemory();
+
+  Platform* platform_;
+  PerfIsoConfig config_;
+  bool active_ = false;
+  bool initialized_ = false;
+  std::optional<BlindIsolationPolicy> blind_policy_;
+  std::unique_ptr<IoThrottler> io_throttler_;
+  Stats stats_;
+  bool secondary_killed_ = false;
+  std::unique_ptr<PeriodicTask> cpu_task_;
+  std::unique_ptr<PeriodicTask> io_task_;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_PERFISO_CONTROLLER_H_

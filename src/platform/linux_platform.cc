@@ -1,0 +1,230 @@
+#include "src/platform/linux_platform.h"
+
+#include <dirent.h>
+#include <sched.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace perfiso {
+
+LinuxPlatform::LinuxPlatform() : LinuxPlatform(Options()) {}
+
+LinuxPlatform::LinuxPlatform(Options options) : options_(std::move(options)) {}
+
+void LinuxPlatform::AddSecondaryPid(pid_t pid) { pids_.push_back(pid); }
+
+int LinuxPlatform::NumCores() const {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+SimTime LinuxPlatform::NowNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * kSecond + ts.tv_nsec;
+}
+
+StatusOr<std::vector<LinuxPlatform::CpuSample>> LinuxPlatform::ParseProcStat(
+    const std::string& text) {
+  std::vector<CpuSample> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Per-CPU lines look like: cpuN user nice system idle iowait irq softirq steal ...
+    if (line.rfind("cpu", 0) != 0 || line.size() < 4 || !isdigit(line[3])) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string label;
+    fields >> label;
+    int64_t value = 0;
+    int64_t total = 0;
+    int64_t idle = 0;
+    for (int i = 0; fields >> value; ++i) {
+      total += value;
+      if (i == 3 || i == 4) {  // idle + iowait
+        idle += value;
+      }
+    }
+    if (total == 0) {
+      return InternalError("malformed /proc/stat line: " + line);
+    }
+    samples.push_back(CpuSample{idle, total});
+  }
+  if (samples.empty()) {
+    return InternalError("no per-cpu lines in /proc/stat");
+  }
+  return samples;
+}
+
+CpuSet LinuxPlatform::IdleFromSamples(const std::vector<CpuSample>& prev,
+                                      const std::vector<CpuSample>& curr, double threshold) {
+  CpuSet idle;
+  const size_t n = std::min(prev.size(), curr.size());
+  for (size_t cpu = 0; cpu < n && cpu < CpuSet::kMaxCpus; ++cpu) {
+    const int64_t idle_delta = curr[cpu].idle - prev[cpu].idle;
+    const int64_t total_delta = curr[cpu].total - prev[cpu].total;
+    if (total_delta <= 0) {
+      // No jiffies elapsed on this CPU since the last sample: it ran nothing
+      // measurable, which for our purposes means idle.
+      idle.Set(static_cast<int>(cpu));
+    } else if (static_cast<double>(idle_delta) / static_cast<double>(total_delta) >=
+               threshold) {
+      idle.Set(static_cast<int>(cpu));
+    }
+  }
+  return idle;
+}
+
+CpuSet LinuxPlatform::IdleCores() {
+  std::ifstream in(options_.proc_root + "/stat");
+  if (!in) {
+    return CpuSet();
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = ParseProcStat(buffer.str());
+  if (!parsed.ok()) {
+    return CpuSet();
+  }
+  CpuSet idle;
+  if (!last_sample_.empty()) {
+    idle = IdleFromSamples(last_sample_, *parsed, options_.idle_threshold);
+  } else {
+    // No baseline yet: report everything idle (conservative for the
+    // controller, which will shrink on the next sample if needed).
+    idle = CpuSet::FirstN(static_cast<int>(parsed->size()));
+  }
+  last_sample_ = std::move(*parsed);
+  return idle;
+}
+
+Status LinuxPlatform::ApplyAffinityToPid(pid_t pid, const CpuSet& mask) {
+  cpu_set_t native;
+  CPU_ZERO(&native);
+  for (int cpu = mask.Lowest(); cpu >= 0; cpu = mask.NextAfter(cpu)) {
+    CPU_SET(cpu, &native);
+  }
+  // Apply to every task of the process so new threads inherit and old ones
+  // move (Windows job affinity has the same all-threads semantics).
+  const std::string task_dir = options_.proc_root + "/" + std::to_string(pid) + "/task";
+  DIR* dir = opendir(task_dir.c_str());
+  if (dir == nullptr) {
+    // Fall back to the main thread only.
+    if (sched_setaffinity(pid, sizeof(native), &native) != 0) {
+      return InternalError("sched_setaffinity(" + std::to_string(pid) +
+                           "): " + std::strerror(errno));
+    }
+    return OkStatus();
+  }
+  Status status = OkStatus();
+  while (dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') {
+      continue;
+    }
+    const pid_t tid = static_cast<pid_t>(std::strtol(entry->d_name, nullptr, 10));
+    if (tid <= 0) {
+      continue;
+    }
+    if (sched_setaffinity(tid, sizeof(native), &native) != 0 && errno != ESRCH) {
+      status = InternalError("sched_setaffinity(" + std::to_string(tid) +
+                             "): " + std::strerror(errno));
+    }
+  }
+  closedir(dir);
+  return status;
+}
+
+Status LinuxPlatform::SignalSecondary(int signo) {
+  for (pid_t pid : pids_) {
+    if (kill(pid, signo) != 0 && errno != ESRCH) {
+      return InternalError("kill(" + std::to_string(pid) + "): " + std::strerror(errno));
+    }
+  }
+  return OkStatus();
+}
+
+Status LinuxPlatform::SetSecondaryAffinity(const CpuSet& mask) {
+  if (mask.Empty()) {
+    PERFISO_RETURN_IF_ERROR(SignalSecondary(SIGSTOP));
+    suspended_ = true;
+    return OkStatus();
+  }
+  if (suspended_) {
+    PERFISO_RETURN_IF_ERROR(SignalSecondary(SIGCONT));
+    suspended_ = false;
+  }
+  for (pid_t pid : pids_) {
+    PERFISO_RETURN_IF_ERROR(ApplyAffinityToPid(pid, mask));
+  }
+  return OkStatus();
+}
+
+Status LinuxPlatform::SetSecondaryCpuRateCap(double fraction) {
+  if (options_.cgroup_dir.empty()) {
+    return UnavailableError("no cgroup directory configured");
+  }
+  std::ofstream out(options_.cgroup_dir + "/cpu.max");
+  if (!out) {
+    return UnavailableError("cannot open cpu.max in " + options_.cgroup_dir);
+  }
+  if (fraction <= 0) {
+    out << "max 100000\n";
+  } else {
+    const long quota = std::lround(fraction * NumCores() * 100000.0);
+    out << quota << " 100000\n";
+  }
+  return out.good() ? OkStatus() : UnavailableError("write to cpu.max failed");
+}
+
+StatusOr<int64_t> LinuxPlatform::FreeMemoryBytes() {
+  std::ifstream in(options_.proc_root + "/meminfo");
+  if (!in) {
+    return InternalError("cannot open /proc/meminfo");
+  }
+  std::string key;
+  int64_t value = 0;
+  std::string unit;
+  while (in >> key >> value >> unit) {
+    if (key == "MemAvailable:") {
+      return value * 1024;
+    }
+    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+  return InternalError("MemAvailable not found in /proc/meminfo");
+}
+
+Status LinuxPlatform::KillSecondary() {
+  PERFISO_RETURN_IF_ERROR(SignalSecondary(SIGKILL));
+  pids_.clear();
+  return OkStatus();
+}
+
+Status LinuxPlatform::SetIoPriority(int, int) {
+  return UnimplementedError("per-process I/O priority requires blkio cgroups");
+}
+Status LinuxPlatform::SetIoIopsCap(int, double) {
+  return UnimplementedError("IOPS caps require blkio cgroups");
+}
+Status LinuxPlatform::SetIoBandwidthCap(int, double) {
+  return UnimplementedError("I/O bandwidth caps require blkio cgroups");
+}
+StatusOr<int64_t> LinuxPlatform::IoOpsCompleted(int) {
+  return UnimplementedError("per-owner I/O accounting requires blkio cgroups");
+}
+Status LinuxPlatform::SetEgressRateCap(double) {
+  return UnimplementedError("egress shaping requires tc/HTB");
+}
+
+}  // namespace perfiso

@@ -1,0 +1,65 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace perfiso {
+
+void Simulator::Schedule(SimTime when, EventFn fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Move the callback out before popping so it can schedule new events.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(event.time >= now_);
+  now_ = event.time;
+  ++events_executed_;
+  event.fn();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void Simulator::RunUntilEmpty() {
+  while (Step()) {
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulator* sim, SimTime start, SimDuration period, TickFn on_tick)
+    : sim_(sim), period_(period), on_tick_(std::move(on_tick)),
+      alive_(std::make_shared<bool>(true)) {
+  assert(period > 0);
+  Arm(start);
+}
+
+void PeriodicTask::Cancel() { *alive_ = false; }
+
+void PeriodicTask::Arm(SimTime when) {
+  std::shared_ptr<bool> alive = alive_;
+  sim_->Schedule(when, [this, alive] {
+    if (!*alive) {
+      return;
+    }
+    on_tick_(sim_->Now());
+    if (*alive) {  // the tick may have cancelled us
+      Arm(sim_->Now() + period_);
+    }
+  });
+}
+
+}  // namespace perfiso

@@ -1,0 +1,99 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns virtual time and a min-heap of events. Events scheduled at
+// the same timestamp fire in scheduling order (FIFO), which keeps runs
+// deterministic. All higher layers (machines, disks, networks, the PerfIso
+// controller) schedule plain callbacks here.
+#ifndef PERFISO_SRC_SIM_SIMULATOR_H_
+#define PERFISO_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace perfiso {
+
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `when` (clamped to Now() if in the past).
+  void Schedule(SimTime when, EventFn fn);
+
+  // Schedules `fn` after a relative delay.
+  void ScheduleAfter(SimDuration delay, EventFn fn) { Schedule(now_ + delay, std::move(fn)); }
+
+  // Runs the earliest pending event. Returns false if none are pending.
+  bool Step();
+
+  // Runs all events with time <= `until`, then advances the clock to `until`.
+  void RunUntil(SimTime until);
+
+  // Runs until no events remain. Use only with workloads that terminate.
+  void RunUntilEmpty();
+
+  // Number of events executed since construction.
+  uint64_t EventsExecuted() const { return events_executed_; }
+  size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+// A self-rescheduling task with cancellation, used for polling loops (the
+// PerfIso controller polls utilization "continuously in a tight loop", §4.1).
+// Destroying the handle (or calling Cancel) stops future firings.
+class PeriodicTask {
+ public:
+  using TickFn = std::function<void(SimTime)>;
+
+  // Starts firing at `start` and then every `period`.
+  PeriodicTask(Simulator* sim, SimTime start, SimDuration period, TickFn on_tick);
+  ~PeriodicTask() { Cancel(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Cancel();
+  bool cancelled() const { return !*alive_; }
+  SimDuration period() const { return period_; }
+
+ private:
+  void Arm(SimTime when);
+
+  Simulator* sim_;
+  SimDuration period_;
+  TickFn on_tick_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,61 @@
+// Key=value configuration parsing.
+//
+// PerfIso reads its limits from cluster-wide configuration files distributed
+// by Autopilot (§4). The format here is a flat `key = value` file with `#`
+// comments; keys are dotted (e.g. "cpu.buffer_cores"). Values are typed at
+// access time with explicit error reporting.
+#ifndef PERFISO_SRC_UTIL_CONFIG_H_
+#define PERFISO_SRC_UTIL_CONFIG_H_
+
+#include <map>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace perfiso {
+
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  // Parses `text`; returns error with line number on malformed input.
+  static StatusOr<ConfigMap> Parse(const std::string& text);
+
+  // Loads and parses a file from disk.
+  static StatusOr<ConfigMap> LoadFile(const std::string& path);
+
+  // Serializes back to the text format (sorted by key).
+  std::string Serialize() const;
+
+  // Writes Serialize() to `path` atomically (tmp file + rename).
+  Status WriteFile(const std::string& path) const;
+
+  void SetString(const std::string& key, std::string value);
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  bool Has(const std::string& key) const;
+
+  // Typed getters: return the default when the key is absent, and an error
+  // Status only on present-but-malformed values.
+  StatusOr<std::string> GetString(const std::string& key, const std::string& def) const;
+  StatusOr<int64_t> GetInt(const std::string& key, int64_t def) const;
+  StatusOr<double> GetDouble(const std::string& key, double def) const;
+  StatusOr<bool> GetBool(const std::string& key, bool def) const;
+
+  // Unchecked variants used where config was validated up front.
+  int64_t GetIntOr(const std::string& key, int64_t def) const;
+  double GetDoubleOr(const std::string& key, double def) const;
+  bool GetBoolOr(const std::string& key, bool def) const;
+  std::string GetStringOr(const std::string& key, const std::string& def) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_UTIL_CONFIG_H_

@@ -1,0 +1,70 @@
+// CpuSet: a fixed-capacity bitmask of logical CPU ids.
+//
+// This is the currency of CPU blind isolation: the idle-core "syscall"
+// returns one, and job-object affinity is set from one. Supports up to
+// kMaxCpus logical CPUs (the paper's machines have 48; we leave headroom).
+#ifndef PERFISO_SRC_UTIL_CPU_SET_H_
+#define PERFISO_SRC_UTIL_CPU_SET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace perfiso {
+
+class CpuSet {
+ public:
+  static constexpr int kMaxCpus = 256;
+  static constexpr int kWords = kMaxCpus / 64;
+
+  // Empty set.
+  constexpr CpuSet() : words_{} {}
+
+  // Set containing CPUs [0, n).
+  static CpuSet FirstN(int n);
+
+  // Set containing CPUs [begin, end).
+  static CpuSet Range(int begin, int end);
+
+  // Set containing exactly `cpu`.
+  static CpuSet Single(int cpu);
+
+  // Set built from the low 64 bits (convenient for <=64-core machines).
+  static CpuSet FromMask64(uint64_t mask);
+
+  void Set(int cpu);
+  void Clear(int cpu);
+  bool Test(int cpu) const;
+
+  // Number of CPUs in the set.
+  int Count() const;
+  bool Empty() const { return Count() == 0; }
+
+  // Lowest / highest set CPU id, or -1 if empty.
+  int Lowest() const;
+  int Highest() const;
+
+  // Lowest set CPU id strictly greater than `cpu`, or -1.
+  int NextAfter(int cpu) const;
+
+  CpuSet operator|(const CpuSet& other) const;
+  CpuSet operator&(const CpuSet& other) const;
+  CpuSet operator~() const;  // complement over [0, kMaxCpus)
+  CpuSet Minus(const CpuSet& other) const;
+
+  bool operator==(const CpuSet& other) const { return words_ == other.words_; }
+  bool operator!=(const CpuSet& other) const { return !(*this == other); }
+
+  // Low 64 bits, for machines with <= 64 logical CPUs.
+  uint64_t Mask64() const { return words_[0]; }
+
+  // Human-readable form, e.g. "0-3,8,10-11" ("(empty)" when empty).
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, kWords> words_;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_UTIL_CPU_SET_H_

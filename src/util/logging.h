@@ -1,0 +1,49 @@
+// Minimal leveled logging for the library and its tools.
+//
+// Usage: PERFISO_LOG(kInfo) << "controller step " << n;
+// The default sink writes to stderr; tests can install a capture sink.
+#ifndef PERFISO_SRC_UTIL_LOGGING_H_
+#define PERFISO_SRC_UTIL_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace perfiso {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+// Global minimum level; messages below it are dropped cheaply.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+// Replaces the log sink. Passing nullptr restores the stderr sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+// Internal: one log statement. Flushes to the sink on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace perfiso
+
+#define PERFISO_LOG(severity)                                              \
+  if (::perfiso::LogLevel::severity < ::perfiso::MinLogLevel()) {          \
+  } else                                                                   \
+    ::perfiso::LogMessage(::perfiso::LogLevel::severity, __FILE__, __LINE__).stream()
+
+#endif  // PERFISO_SRC_UTIL_LOGGING_H_

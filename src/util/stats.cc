@@ -1,0 +1,140 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace perfiso {
+
+void LatencyRecorder::Add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_valid_ = false;
+}
+
+void LatencyRecorder::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = true;
+  sum_ = 0;
+}
+
+double LatencyRecorder::Min() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double LatencyRecorder::Max() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double LatencyRecorder::Mean() const {
+  return samples_.empty() ? 0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  assert(p >= 0 && p <= 100);
+  EnsureSorted();
+  if (p <= 0) {
+    return sorted_.front();
+  }
+  // Nearest-rank: smallest value with at least ceil(p/100 * N) samples <= it.
+  const size_t n = sorted_.size();
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  if (rank > n) {
+    rank = n;
+  }
+  return sorted_[rank - 1];
+}
+
+void LatencyRecorder::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+MovingAverage::MovingAverage(size_t window) : window_(window) { assert(window > 0); }
+
+void MovingAverage::Add(double sample) {
+  window_samples_.push_back(sample);
+  sum_ += sample;
+  if (window_samples_.size() > window_) {
+    sum_ -= window_samples_.front();
+    window_samples_.pop_front();
+  }
+}
+
+double MovingAverage::Value() const {
+  if (window_samples_.empty()) {
+    return 0;
+  }
+  return sum_ / static_cast<double>(window_samples_.size());
+}
+
+void MeanVar::Add(double sample) {
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double MeanVar::Variance() const {
+  return count_ < 2 ? 0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double MeanVar::StdDev() const { return std::sqrt(Variance()); }
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::Add(double sample) {
+  size_t index;
+  if (sample < lo_) {
+    index = 0;
+  } else if (sample >= hi_) {
+    index = counts_.size() - 1;
+  } else {
+    index = static_cast<size_t>((sample - lo_) / width_);
+    if (index >= counts_.size()) {
+      index = counts_.size() - 1;
+    }
+  }
+  ++counts_[index];
+  ++total_;
+}
+
+double Histogram::BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::ApproxPercentile(double p) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  const auto target = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return BucketLow(i) + width_;  // upper edge of the bucket
+    }
+  }
+  return hi_;
+}
+
+}  // namespace perfiso

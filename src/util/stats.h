@@ -1,0 +1,107 @@
+// Online statistics used to measure latency distributions and utilization.
+//
+// LatencyRecorder keeps exact samples (simulation runs are bounded) so
+// percentile queries match the paper's reporting exactly. MovingAverage and
+// MeanVar provide the smoothing the PerfIso I/O throttler needs.
+#ifndef PERFISO_SRC_UTIL_STATS_H_
+#define PERFISO_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace perfiso {
+
+// Records scalar samples and answers percentile queries exactly.
+// Samples are stored raw; Percentile() sorts lazily and caches.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() = default;
+
+  void Add(double sample);
+  void Clear();
+
+  size_t Count() const { return samples_.size(); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+
+  // p in [0, 100]. Uses the nearest-rank method. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  // Convenience accessors matching the paper's reported metrics.
+  double P50() const { return Percentile(50); }
+  double P95() const { return Percentile(95); }
+  double P99() const { return Percentile(99); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = true;
+  double sum_ = 0;
+};
+
+// Fixed-size sliding-window average (the paper's I/O throttler uses a moving
+// average of measured IOPS, §4.1).
+class MovingAverage {
+ public:
+  explicit MovingAverage(size_t window);
+
+  void Add(double sample);
+  double Value() const;      // average over the current window (0 when empty)
+  size_t Count() const { return window_samples_.size(); }
+  bool Full() const { return window_samples_.size() == window_; }
+
+ private:
+  size_t window_;
+  std::deque<double> window_samples_;
+  double sum_ = 0;
+};
+
+// Welford online mean/variance.
+class MeanVar {
+ public:
+  void Add(double sample);
+  size_t Count() const { return count_; }
+  double Mean() const { return mean_; }
+  double Variance() const;
+  double StdDev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+// Fixed-bucket histogram for coarse distribution summaries (used by benches
+// to print latency CDFs without shipping full sample vectors).
+class Histogram {
+ public:
+  // Buckets span [lo, hi) uniformly; samples outside clamp to the end buckets.
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double sample);
+  size_t Count() const { return total_; }
+  uint64_t BucketCount(size_t i) const { return counts_.at(i); }
+  size_t NumBuckets() const { return counts_.size(); }
+  double BucketLow(size_t i) const;
+
+  // Approximate percentile from bucket boundaries (nearest-rank on buckets).
+  double ApproxPercentile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_UTIL_STATS_H_

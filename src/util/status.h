@@ -1,0 +1,117 @@
+// Lightweight error-propagation types used across module boundaries.
+//
+// Following the os-systems guides we do not throw exceptions across library
+// boundaries; fallible operations return Status (or StatusOr<T>) instead.
+#ifndef PERFISO_SRC_UTIL_STATUS_H_
+#define PERFISO_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace perfiso {
+
+// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
+  kInternal,
+  kPermissionDenied,
+  kUnimplemented,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic result of an operation: either OK or a code plus message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Either a value of T or a non-OK Status. Accessing value() on error aborts,
+// so callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `expr` (a Status) and returns it from the enclosing function on error.
+#define PERFISO_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::perfiso::Status perfiso_status_tmp = (expr);   \
+    if (!perfiso_status_tmp.ok()) {                  \
+      return perfiso_status_tmp;                     \
+    }                                                \
+  } while (0)
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_UTIL_STATUS_H_

@@ -1,0 +1,57 @@
+#include "src/util/token_bucket.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace perfiso {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec), burst_(burst), tokens_(burst) {
+  assert(rate_per_sec > 0 && burst > 0);
+}
+
+void TokenBucket::Refill(SimTime now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  const double elapsed_sec = ToSeconds(now - last_refill_);
+  tokens_ = std::min(burst_, tokens_ + elapsed_sec * rate_per_sec_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryConsume(double tokens, SimTime now) {
+  Refill(now);
+  if (tokens_ >= tokens) {
+    tokens_ -= tokens;
+    return true;
+  }
+  return false;
+}
+
+SimTime TokenBucket::NextAvailable(double tokens, SimTime now) {
+  Refill(now);
+  if (tokens_ >= tokens) {
+    return now;
+  }
+  const double deficit = tokens - tokens_;
+  const double wait_sec = deficit / rate_per_sec_;
+  return now + static_cast<SimDuration>(std::ceil(wait_sec * static_cast<double>(kSecond)));
+}
+
+void TokenBucket::ForceConsume(double tokens, SimTime now) {
+  Refill(now);
+  tokens_ -= tokens;
+}
+
+double TokenBucket::AvailableAt(SimTime now) {
+  Refill(now);
+  return tokens_;
+}
+
+void TokenBucket::set_rate_per_sec(double rate) {
+  assert(rate > 0);
+  rate_per_sec_ = rate;
+}
+
+}  // namespace perfiso

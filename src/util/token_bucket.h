@@ -1,0 +1,45 @@
+// Token bucket rate limiter.
+//
+// Used by the egress-network throttler (§3.2: secondary outbound traffic is
+// throttled and marked low-priority) and by disk bandwidth caps. Time is
+// supplied by the caller so the same code runs in simulation and live.
+#ifndef PERFISO_SRC_UTIL_TOKEN_BUCKET_H_
+#define PERFISO_SRC_UTIL_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+#include "src/util/sim_time.h"
+
+namespace perfiso {
+
+class TokenBucket {
+ public:
+  // rate: tokens per second; burst: bucket capacity in tokens.
+  TokenBucket(double rate_per_sec, double burst);
+
+  // Attempts to consume `tokens` at time `now`. Returns true on success.
+  bool TryConsume(double tokens, SimTime now);
+
+  // Earliest time at which `tokens` will be available (now if already).
+  SimTime NextAvailable(double tokens, SimTime now);
+
+  // Unconditionally consumes (balance may go negative) — used when a request
+  // has already been admitted but must be charged.
+  void ForceConsume(double tokens, SimTime now);
+
+  double AvailableAt(SimTime now);
+  double rate_per_sec() const { return rate_per_sec_; }
+  void set_rate_per_sec(double rate);
+
+ private:
+  void Refill(SimTime now);
+
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_UTIL_TOKEN_BUCKET_H_

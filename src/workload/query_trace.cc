@@ -1,0 +1,54 @@
+#include "src/workload/query_trace.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace perfiso {
+
+std::vector<QueryWork> GenerateTrace(const TraceSpec& spec, size_t count, Rng* rng) {
+  assert(rng != nullptr);
+  assert(spec.fanout_min >= 1 && spec.fanout_max >= spec.fanout_min);
+  std::vector<QueryWork> trace;
+  trace.reserve(count);
+  // exp(mu + sigma^2/2) = 1  =>  mu = -sigma^2/2 normalizes the mean to 1.
+  const double mu = -spec.size_sigma * spec.size_sigma / 2;
+  for (size_t i = 0; i < count; ++i) {
+    QueryWork query;
+    query.id = i;
+    query.fanout = static_cast<int>(rng->UniformInt(spec.fanout_min, spec.fanout_max));
+    query.size_factor = rng->LogNormal(mu, spec.size_sigma);
+    query.seed = rng->Next();
+    trace.push_back(query);
+  }
+  return trace;
+}
+
+OpenLoopClient::OpenLoopClient(Simulator* sim, std::vector<QueryWork> trace,
+                               double queries_per_sec, Rng rng, SubmitFn submit)
+    : sim_(sim), trace_(std::move(trace)), rate_(queries_per_sec), rng_(rng),
+      submit_(std::move(submit)) {
+  assert(!trace_.empty());
+  assert(rate_ > 0);
+}
+
+void OpenLoopClient::Run(SimTime start, SimDuration duration) {
+  end_time_ = start + duration;
+  ScheduleNext(start);
+}
+
+void OpenLoopClient::ScheduleNext(SimTime when) {
+  if (when >= end_time_) {
+    return;
+  }
+  sim_->Schedule(when, [this, when] {
+    submit_(trace_[cursor_], when);
+    ++submitted_;
+    cursor_ = (cursor_ + 1) % trace_.size();
+    const SimDuration gap = static_cast<SimDuration>(
+        std::max(1.0, rng_.Exponential(static_cast<double>(kSecond) / rate_)));
+    ScheduleNext(when + gap);
+  });
+}
+
+}  // namespace perfiso

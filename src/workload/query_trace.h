@@ -1,0 +1,70 @@
+// Synthetic query-trace generation and open-loop replay.
+//
+// The paper replays a trace of 500k real Bing queries through an open-loop
+// client whose inter-arrival times follow a Poisson process (§5.3). Real
+// traces are proprietary, so we generate synthetic ones whose per-query
+// complexity distributions are the calibration knobs of the IndexServe model.
+#ifndef PERFISO_SRC_WORKLOAD_QUERY_TRACE_H_
+#define PERFISO_SRC_WORKLOAD_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/sim_time.h"
+
+namespace perfiso {
+
+// Complexity of one query, fixed at trace-generation time so that replays at
+// different arrival rates process identical work (like replaying a trace).
+struct QueryWork {
+  uint64_t id = 0;
+  int fanout = 1;           // parallel chunk lookups
+  double size_factor = 1;   // multiplies all CPU costs of this query
+  uint64_t seed = 0;        // per-query stream for chunk-level draws
+};
+
+// Distribution parameters for synthetic traces.
+struct TraceSpec {
+  int fanout_min = 4;
+  int fanout_max = 12;
+  // Per-query size factor ~ LogNormal(mu, sigma), normalized to mean 1.
+  double size_sigma = 0.45;
+};
+
+// Generates `count` queries with complexities drawn from `spec`.
+std::vector<QueryWork> GenerateTrace(const TraceSpec& spec, size_t count, Rng* rng);
+
+// Replays a trace in an open loop: queries are submitted at Poisson arrivals
+// of the given rate regardless of completions (§5.3). The trace wraps around
+// if the duration needs more queries than it holds.
+class OpenLoopClient {
+ public:
+  using SubmitFn = std::function<void(const QueryWork&, SimTime)>;
+
+  OpenLoopClient(Simulator* sim, std::vector<QueryWork> trace, double queries_per_sec,
+                 Rng rng, SubmitFn submit);
+
+  // Starts submitting at `start`, stopping after `duration`.
+  void Run(SimTime start, SimDuration duration);
+
+  uint64_t submitted() const { return submitted_; }
+
+ private:
+  void ScheduleNext(SimTime now);
+
+  Simulator* sim_;
+  std::vector<QueryWork> trace_;
+  double rate_;
+  Rng rng_;
+  SubmitFn submit_;
+  SimTime end_time_ = 0;
+  uint64_t submitted_ = 0;
+  size_t cursor_ = 0;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_WORKLOAD_QUERY_TRACE_H_

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/autopilot/config_store.h"
+#include "src/autopilot/perfiso_service.h"
+#include "src/autopilot/service_manager.h"
+#include "src/platform/sim_platform.h"
+#include "src/sim/machine.h"
+#include "src/workload/bullies.h"
+
+namespace perfiso {
+namespace {
+
+std::string TempRoot(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/perfiso_autopilot_" + tag;
+  std::string cleanup = "rm -rf " + dir;
+  std::system(cleanup.c_str());
+  return dir;
+}
+
+TEST(ConfigStoreTest, PutGetRoundTrip) {
+  ConfigStore store(TempRoot("roundtrip"));
+  ConfigMap config;
+  config.SetInt("cpu.buffer_cores", 8);
+  ASSERT_TRUE(store.Put("perfiso", config).ok());
+  EXPECT_TRUE(store.Exists("perfiso"));
+  auto loaded = store.Get("perfiso");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetIntOr("cpu.buffer_cores", 0), 8);
+}
+
+TEST(ConfigStoreTest, MissingConfigNotFound) {
+  ConfigStore store(TempRoot("missing"));
+  EXPECT_FALSE(store.Exists("nope"));
+  EXPECT_EQ(store.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ConfigStoreTest, InvalidNamesRejected) {
+  ConfigStore store(TempRoot("names"));
+  EXPECT_FALSE(store.Put("", ConfigMap()).ok());
+  EXPECT_FALSE(store.Put("../escape", ConfigMap()).ok());
+}
+
+TEST(ConfigStoreTest, WatchersNotifiedOnPut) {
+  ConfigStore store(TempRoot("watch"));
+  int notified = 0;
+  store.Watch("perfiso", [&](const ConfigMap& map) {
+    ++notified;
+    EXPECT_TRUE(map.Has("x"));
+  });
+  ConfigMap config;
+  config.SetInt("x", 1);
+  ASSERT_TRUE(store.Put("perfiso", config).ok());
+  ASSERT_TRUE(store.Put("other", config).ok());  // different name: no notify
+  EXPECT_EQ(notified, 1);
+}
+
+// --- ServiceManager ------------------------------------------------------------
+
+class FlakyService : public ManagedService {
+ public:
+  const std::string& name() const override { return name_; }
+  Status Start() override {
+    running_ = true;
+    ++starts_;
+    return OkStatus();
+  }
+  Status Stop() override {
+    running_ = false;
+    return OkStatus();
+  }
+  bool Healthy() const override { return running_; }
+
+  void Crash() { running_ = false; }
+  int starts() const { return starts_; }
+
+ private:
+  std::string name_ = "flaky";
+  bool running_ = false;
+  int starts_ = 0;
+};
+
+TEST(ServiceManagerTest, RestartsCrashedService) {
+  FlakyService service;
+  ServiceManager manager;
+  manager.Register(&service);
+  ASSERT_TRUE(manager.StartAll().ok());
+  EXPECT_EQ(service.starts(), 1);
+  manager.Tick();  // healthy: nothing happens
+  EXPECT_EQ(manager.Restarts("flaky"), 0);
+  service.Crash();
+  manager.Tick();
+  EXPECT_EQ(service.starts(), 2);
+  EXPECT_EQ(manager.Restarts("flaky"), 1);
+  EXPECT_TRUE(service.Healthy());
+}
+
+// --- PerfIsoService (recovery, kill switch via config) ---------------------------
+
+struct ServiceRig {
+  Simulator sim;
+  MachineSpec spec;
+  std::unique_ptr<SimMachine> machine;
+  std::unique_ptr<SimPlatform> platform;
+  JobId job;
+  std::unique_ptr<CpuBully> bully;
+
+  ServiceRig() {
+    spec.context_switch = 0;
+    machine = std::make_unique<SimMachine>(&sim, spec, "m0");
+    platform = std::make_unique<SimPlatform>(machine.get(), nullptr);
+    job = machine->CreateJob("secondary");
+    platform->AddSecondaryJob(job);
+    bully = std::make_unique<CpuBully>(machine.get(), job, 48);
+  }
+};
+
+TEST(PerfIsoServiceTest, StartPersistsDefaultsAndIsolates) {
+  ServiceRig rig;
+  ConfigStore store(TempRoot("svc_start"));
+  PerfIsoService service(rig.platform.get(), &store, "perfiso", &rig.sim);
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_TRUE(store.Exists("perfiso"));  // durable state written
+  rig.sim.RunUntil(FromMillis(50));
+  EXPECT_EQ(rig.machine->IdleCount(), 8);  // default blind isolation, B=8
+}
+
+TEST(PerfIsoServiceTest, CrashLeavesKnobsThenRecoveryResumes) {
+  ServiceRig rig;
+  ConfigStore store(TempRoot("svc_crash"));
+  PerfIsoService service(rig.platform.get(), &store, "perfiso", &rig.sim);
+  ASSERT_TRUE(service.Start().ok());
+  rig.sim.RunUntil(FromMillis(50));
+  ASSERT_EQ(rig.machine->IdleCount(), 8);
+
+  service.Crash();
+  EXPECT_FALSE(service.Healthy());
+  // A crash does not restore OS defaults — the mask stays as it was.
+  rig.sim.RunUntil(FromMillis(60));
+  EXPECT_EQ(rig.machine->IdleCount(), 8);
+
+  // Autopilot restarts it; state comes from disk (§4.2).
+  ServiceManager manager;
+  manager.Register(&service);
+  manager.Tick();
+  EXPECT_TRUE(service.Healthy());
+  rig.sim.RunUntil(FromMillis(200));
+  EXPECT_EQ(rig.machine->IdleCount(), 8);
+  EXPECT_EQ(manager.Restarts("perfiso"), 1);
+}
+
+TEST(PerfIsoServiceTest, KillSwitchViaConfigPush) {
+  ServiceRig rig;
+  ConfigStore store(TempRoot("svc_kill"));
+  PerfIsoService service(rig.platform.get(), &store, "perfiso", &rig.sim);
+  ASSERT_TRUE(service.Start().ok());
+  rig.sim.RunUntil(FromMillis(50));
+  ASSERT_EQ(rig.machine->IdleCount(), 8);
+
+  PerfIsoConfig disabled;
+  disabled.enabled = false;
+  ASSERT_TRUE(service.UpdateConfig(disabled).ok());
+  rig.sim.RunUntil(FromMillis(60));
+  EXPECT_EQ(rig.machine->IdleCount(), 0);  // defaults restored immediately
+
+  PerfIsoConfig enabled;
+  enabled.enabled = true;
+  ASSERT_TRUE(service.UpdateConfig(enabled).ok());
+  rig.sim.RunUntil(FromMillis(300));
+  EXPECT_EQ(rig.machine->IdleCount(), 8);
+}
+
+TEST(PerfIsoServiceTest, RuntimeLimitChangeViaStore) {
+  ServiceRig rig;
+  ConfigStore store(TempRoot("svc_update"));
+  PerfIsoService service(rig.platform.get(), &store, "perfiso", &rig.sim);
+  ASSERT_TRUE(service.Start().ok());
+  rig.sim.RunUntil(FromMillis(50));
+  ASSERT_EQ(rig.machine->IdleCount(), 8);
+
+  PerfIsoConfig wider;
+  wider.blind.buffer_cores = 16;
+  ASSERT_TRUE(service.UpdateConfig(wider).ok());
+  rig.sim.RunUntil(FromMillis(300));
+  EXPECT_EQ(rig.machine->IdleCount(), 16);
+}
+
+TEST(PerfIsoServiceTest, OrderlyStopRestoresDefaults) {
+  ServiceRig rig;
+  ConfigStore store(TempRoot("svc_stop"));
+  PerfIsoService service(rig.platform.get(), &store, "perfiso", &rig.sim);
+  ASSERT_TRUE(service.Start().ok());
+  rig.sim.RunUntil(FromMillis(50));
+  ASSERT_EQ(rig.machine->IdleCount(), 8);
+  ASSERT_TRUE(service.Stop().ok());
+  rig.sim.RunUntil(FromMillis(60));
+  EXPECT_EQ(rig.machine->IdleCount(), 0);
+}
+
+}  // namespace
+}  // namespace perfiso

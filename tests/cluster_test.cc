@@ -1,0 +1,152 @@
+#include "src/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/query_trace.h"
+
+namespace perfiso {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions options;
+  options.topology = ClusterTopology{4, 2, 2};
+  return options;
+}
+
+TEST(ClusterTest, SingleQueryTraversesAllLayers) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  QueryWork work;
+  work.id = 1;
+  work.fanout = 5;
+  work.size_factor = 1;
+  work.seed = 42;
+  QueryResult result;
+  bool done = false;
+  cluster.SubmitQuery(work, [&](const QueryResult& r) {
+    result = r;
+    done = true;
+  });
+  sim.RunUntil(kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(cluster.queries_completed(), 1);
+  // Per-layer recorders each saw the query.
+  EXPECT_EQ(cluster.MlaLatency().Count(), 1u);
+  EXPECT_EQ(cluster.TlaLatency().Count(), 1u);
+  // Every leaf in the chosen row processed it.
+  EXPECT_EQ(cluster.MergedLeafLatency().Count(), 4u);
+  // Layering: TLA latency >= MLA latency >= slowest leaf latency.
+  EXPECT_GE(cluster.TlaLatency().Max(), cluster.MlaLatency().Max());
+  EXPECT_GE(cluster.MlaLatency().Max(), cluster.MergedLeafLatency().Max());
+  EXPECT_NEAR(result.latency_ms, cluster.TlaLatency().Max(), 1e-9);
+}
+
+TEST(ClusterTest, RoundRobinAcrossRowsBalancesLoad) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  Rng rng(1);
+  auto trace = GenerateTrace(TraceSpec{}, 64, &rng);
+  for (const auto& work : trace) {
+    cluster.SubmitQuery(work);
+  }
+  sim.RunUntil(5 * kSecond);
+  EXPECT_EQ(cluster.queries_completed(), 64);
+  // Each of the 8 leaves sits in one row and sees exactly half the queries.
+  for (int i = 0; i < cluster.NumIndexNodes(); ++i) {
+    EXPECT_EQ(cluster.index_node(i).server().stats().submitted, 32);
+  }
+}
+
+TEST(ClusterTest, MlaRotatesWithinRow) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  Rng rng(2);
+  auto trace = GenerateTrace(TraceSpec{}, 32, &rng);
+  for (const auto& work : trace) {
+    cluster.SubmitQuery(work);
+  }
+  sim.RunUntil(5 * kSecond);
+  // MLA merge work should appear on every index machine (round-robin MLA
+  // selection), visible as primary busy time beyond leaf-only load.
+  for (int i = 0; i < cluster.NumIndexNodes(); ++i) {
+    EXPECT_GT(cluster.index_node(i).machine().metrics().busy_ns[0], 0);
+  }
+}
+
+TEST(ClusterTest, SlowestLeafDictatesResponseTime) {
+  // With one row and N columns, TLA latency tracks the max leaf latency.
+  Simulator sim;
+  ClusterOptions options;
+  options.topology = ClusterTopology{6, 1, 1};
+  Cluster cluster(&sim, options);
+  Rng rng(3);
+  auto trace = GenerateTrace(TraceSpec{}, 40, &rng);
+  for (const auto& work : trace) {
+    cluster.SubmitQuery(work);
+  }
+  sim.RunUntil(10 * kSecond);
+  ASSERT_EQ(cluster.queries_completed(), 40);
+  // The mean TLA latency must exceed the mean leaf latency by the
+  // max-over-6-leaves amplification (clearly more than any single leaf).
+  EXPECT_GT(cluster.TlaLatency().Mean(), cluster.MergedLeafLatency().Mean());
+}
+
+TEST(ClusterTest, ResetStatsClearsEverything) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  QueryWork work;
+  work.fanout = 4;
+  work.size_factor = 1;
+  work.seed = 9;
+  cluster.SubmitQuery(work);
+  sim.RunUntil(kSecond);
+  ASSERT_EQ(cluster.queries_completed(), 1);
+  cluster.ResetStats();
+  EXPECT_EQ(cluster.queries_completed(), 0);
+  EXPECT_EQ(cluster.TlaLatency().Count(), 0u);
+  EXPECT_EQ(cluster.MergedLeafLatency().Count(), 0u);
+}
+
+TEST(ClusterTest, UtilizationAveragesAcrossMachines) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  const auto snaps = cluster.SnapshotAll();
+  // Saturate node 0 with a bully; others stay idle.
+  cluster.index_node(0).StartCpuBully(48);
+  sim.RunUntil(kSecond);
+  const double secondary = cluster.MeanUtilizationSince(snaps, TenantClass::kSecondary);
+  EXPECT_NEAR(secondary, 1.0 / 8, 0.02);  // one of eight machines fully busy
+  EXPECT_NEAR(cluster.MeanBusyFractionSince(snaps), 1.0 / 8, 0.05);
+}
+
+TEST(ClusterTest, PerfIsoOnEveryNodeProtectsClusterTail) {
+  // End-to-end miniature of Fig. 9b: bully + blind isolation on every node.
+  auto run = [](bool bully) {
+    Simulator sim;
+    ClusterOptions options;
+    options.topology = ClusterTopology{4, 1, 1};
+    Cluster cluster(&sim, options);
+    if (bully) {
+      cluster.ForEachIndexNode([&](IndexNodeRig& node) {
+        node.StartCpuBully(48);
+        PerfIsoConfig config;
+        config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+        config.blind.buffer_cores = 8;
+        ASSERT_TRUE(node.StartPerfIso(config).ok());
+      });
+    }
+    Rng rng(7);
+    auto trace = GenerateTrace(TraceSpec{}, 4000, &rng);
+    OpenLoopClient client(&sim, std::move(trace), 2000, Rng(8),
+                          [&](const QueryWork& work, SimTime) { cluster.SubmitQuery(work); });
+    client.Run(0, 2 * kSecond);
+    sim.RunUntil(3 * kSecond);
+    return cluster.TlaLatency().P99();
+  };
+  const double baseline = run(false);
+  const double isolated = run(true);
+  EXPECT_LT(isolated - baseline, 1.5);  // the paper's bound: ~1.1 ms at the TLA
+}
+
+}  // namespace
+}  // namespace perfiso

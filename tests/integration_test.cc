@@ -1,0 +1,127 @@
+// End-to-end single-machine integration: IndexServe + CPU bully + PerfIso,
+// asserting the paper's headline claims at reduced (test-speed) duration.
+#include <gtest/gtest.h>
+
+#include "src/cluster/index_node.h"
+#include "src/workload/query_trace.h"
+
+namespace perfiso {
+namespace {
+
+struct RunResult {
+  double p99 = 0;
+  double drop_fraction = 0;
+  double idle = 0;
+  double secondary_util = 0;
+  double sched_delay_p99_us = 0;
+};
+
+RunResult RunScenario(double qps, int bully_threads, std::optional<PerfIsoConfig> perfiso,
+                      SimDuration measure = 3 * kSecond) {
+  Simulator sim;
+  IndexNodeOptions options;
+  options.seed = 99;
+  IndexNodeRig rig(&sim, options, "m0");
+  if (bully_threads > 0) {
+    rig.StartCpuBully(bully_threads);
+  }
+  if (perfiso.has_value()) {
+    EXPECT_TRUE(rig.StartPerfIso(*perfiso).ok());
+  }
+  Rng trace_rng(555);
+  auto trace = GenerateTrace(TraceSpec{}, 10000, &trace_rng);
+  OpenLoopClient client(&sim, std::move(trace), qps, Rng(3),
+                        [&](const QueryWork& work, SimTime) { rig.server().SubmitQuery(work); });
+  client.Run(0, kSecond + measure);
+  sim.RunUntil(kSecond);
+  rig.server().ResetStats();
+  const auto snap = rig.SnapshotUtilization();
+  sim.RunUntil(kSecond + measure);
+  RunResult result;
+  result.p99 = rig.server().stats().latency_ms.P99();
+  result.drop_fraction = rig.server().stats().DropFraction();
+  result.idle = rig.IdleFractionSince(snap);
+  result.secondary_util = rig.UtilizationSince(snap, TenantClass::kSecondary);
+  result.sched_delay_p99_us = rig.machine().metrics().primary_sched_delay_us.P99();
+  return result;
+}
+
+PerfIsoConfig Blind(int buffer) {
+  PerfIsoConfig config;
+  config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+  config.blind.buffer_cores = buffer;
+  return config;
+}
+
+TEST(PerfIsoIntegrationTest, UnmanagedColocationDestroysTailLatency) {
+  const RunResult standalone = RunScenario(2000, 0, std::nullopt);
+  const RunResult unmanaged = RunScenario(2000, 48, std::nullopt);
+  // The paper's ~29x degradation (we assert at least 10x).
+  EXPECT_GT(unmanaged.p99, 10 * standalone.p99);
+}
+
+TEST(PerfIsoIntegrationTest, BlindIsolationKeepsP99WithinOneMs) {
+  const RunResult standalone = RunScenario(2000, 0, std::nullopt);
+  const RunResult blind = RunScenario(2000, 48, Blind(8));
+  EXPECT_LT(blind.p99 - standalone.p99, 1.0);  // the paper's SLO bound (§2.1)
+  EXPECT_EQ(blind.drop_fraction, 0);
+  // While still letting the secondary do substantial work.
+  EXPECT_GT(blind.secondary_util, 0.4);
+}
+
+TEST(PerfIsoIntegrationTest, BlindIsolationHoldsAtPeakLoad) {
+  const RunResult standalone = RunScenario(4000, 0, std::nullopt);
+  const RunResult blind = RunScenario(4000, 48, Blind(8));
+  EXPECT_LT(blind.p99 - standalone.p99, 1.0);
+  EXPECT_EQ(blind.drop_fraction, 0);
+}
+
+TEST(PerfIsoIntegrationTest, BufferCoresAbsorbWakeups) {
+  // With 8 buffer cores the primary's wake-to-dispatch delay stays well under
+  // a millisecond even under full colocation (occasional bursts wider than
+  // the buffer wait for a chunk to finish, not for a bully quantum — this is
+  // the mechanism behind the <1 ms bound). Without isolation the same
+  // quantile sits at tens of milliseconds.
+  const RunResult blind = RunScenario(2000, 48, Blind(8));
+  EXPECT_LT(blind.sched_delay_p99_us, 1000);
+  const RunResult unmanaged = RunScenario(2000, 48, std::nullopt);
+  EXPECT_GT(unmanaged.sched_delay_p99_us, 10000);
+}
+
+TEST(PerfIsoIntegrationTest, FourBufferCoresWeakerThanEight) {
+  const RunResult standalone = RunScenario(2000, 0, std::nullopt);
+  const RunResult b4 = RunScenario(2000, 48, Blind(4));
+  const RunResult b8 = RunScenario(2000, 48, Blind(8));
+  // Both stay near the SLO, but the smaller buffer degrades at least as much
+  // and leaves more cores to the secondary.
+  EXPECT_GE(b4.p99 - standalone.p99, b8.p99 - standalone.p99);
+  EXPECT_GE(b4.secondary_util, b8.secondary_util);
+}
+
+TEST(PerfIsoIntegrationTest, UtilizationRisesUnderColocation) {
+  const RunResult standalone = RunScenario(2000, 0, std::nullopt);
+  const RunResult blind = RunScenario(2000, 48, Blind(8));
+  // The abstract's 21% -> 66%: colocation must at least triple utilization.
+  EXPECT_GT((1 - blind.idle) / (1 - standalone.idle), 3.0);
+}
+
+TEST(PerfIsoIntegrationTest, BlindBeatsStaticCoresOnWorkDone) {
+  PerfIsoConfig cores;
+  cores.cpu_mode = CpuIsolationMode::kStaticCores;
+  cores.static_secondary_cores = 8;  // peak-provisioned static setting
+  const RunResult static_run = RunScenario(2000, 48, cores);
+  const RunResult blind_run = RunScenario(2000, 48, Blind(8));
+  EXPECT_GT(blind_run.secondary_util, static_run.secondary_util + 0.10);
+}
+
+TEST(PerfIsoIntegrationTest, CycleCapFailsToProtectTail) {
+  PerfIsoConfig cycles;
+  cycles.cpu_mode = CpuIsolationMode::kCpuRateCap;
+  cycles.cpu_rate_cap = 0.25;
+  const RunResult standalone = RunScenario(2000, 0, std::nullopt);
+  const RunResult capped = RunScenario(2000, 48, cycles);
+  EXPECT_GT(capped.p99 - standalone.p99, 5.0);  // well outside the SLO
+}
+
+}  // namespace
+}  // namespace perfiso

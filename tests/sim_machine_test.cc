@@ -1,0 +1,323 @@
+#include "src/sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace perfiso {
+namespace {
+
+// A small spec with zero context-switch cost for exact timing arithmetic.
+MachineSpec TinySpec(int cores, SimDuration quantum = FromMillis(10)) {
+  MachineSpec spec;
+  spec.num_cores = cores;
+  spec.quantum = quantum;
+  spec.context_switch = 0;
+  spec.throttle_interval = FromMillis(20);
+  return spec;
+}
+
+TEST(SimMachineTest, AllCoresIdleInitially) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(4), "m0");
+  EXPECT_EQ(machine.IdleCount(), 4);
+  EXPECT_EQ(machine.IdleMask(), CpuSet::FirstN(4));
+}
+
+TEST(SimMachineTest, SingleThreadRunsToCompletion) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1), "m0");
+  SimTime done_at = -1;
+  machine.SpawnThread("w", TenantClass::kPrimary, JobId{}, FromMillis(3),
+                      [&](SimTime now) { done_at = now; });
+  EXPECT_EQ(machine.IdleCount(), 0);  // dispatched immediately
+  sim.RunUntilEmpty();
+  EXPECT_EQ(done_at, FromMillis(3));
+  EXPECT_EQ(machine.IdleCount(), 1);
+  EXPECT_EQ(machine.metrics().busy_ns[static_cast<int>(TenantClass::kPrimary)], FromMillis(3));
+}
+
+TEST(SimMachineTest, ContextSwitchChargedToOs) {
+  Simulator sim;
+  MachineSpec spec = TinySpec(1);
+  spec.context_switch = FromMicros(2);
+  SimMachine machine(&sim, spec, "m0");
+  SimTime done_at = -1;
+  machine.SpawnThread("w", TenantClass::kPrimary, JobId{}, FromMillis(1),
+                      [&](SimTime now) { done_at = now; });
+  sim.RunUntilEmpty();
+  EXPECT_EQ(done_at, FromMillis(1) + FromMicros(2));
+  EXPECT_EQ(machine.metrics().busy_ns[static_cast<int>(TenantClass::kOs)], FromMicros(2));
+  EXPECT_EQ(machine.metrics().busy_ns[static_cast<int>(TenantClass::kPrimary)], FromMillis(1));
+}
+
+TEST(SimMachineTest, RoundRobinOnOneCore) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1, FromMillis(10)), "m0");
+  SimTime done_a = -1;
+  SimTime done_b = -1;
+  machine.SpawnThread("a", TenantClass::kPrimary, JobId{}, FromMillis(15),
+                      [&](SimTime now) { done_a = now; });
+  machine.SpawnThread("b", TenantClass::kPrimary, JobId{}, FromMillis(15),
+                      [&](SimTime now) { done_b = now; });
+  sim.RunUntilEmpty();
+  // a: [0,10) + [20,25); b: [10,20) + [25,30).
+  EXPECT_EQ(done_a, FromMillis(25));
+  EXPECT_EQ(done_b, FromMillis(30));
+}
+
+TEST(SimMachineTest, WakeTakesIdleCoreImmediately) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(2), "m0");
+  machine.SpawnLoopThread("hog", TenantClass::kSecondary, JobId{});
+  SimTime done_at = -1;
+  sim.Schedule(FromMillis(5), [&] {
+    machine.SpawnThread("w", TenantClass::kPrimary, JobId{}, FromMillis(1),
+                        [&](SimTime now) { done_at = now; });
+  });
+  sim.RunUntil(FromMillis(100));
+  EXPECT_EQ(done_at, FromMillis(6));  // no queueing: second core was idle
+  const auto& delays = machine.metrics().primary_sched_delay_us;
+  ASSERT_EQ(delays.Count(), 1u);
+  EXPECT_EQ(delays.Max(), 0);
+}
+
+TEST(SimMachineTest, NoWakePreemptionOfEqualPriority) {
+  // The core mechanism of the paper: a woken thread cannot evict a running
+  // CPU-bound thread; it waits for the quantum to expire.
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1, FromMillis(10)), "m0");
+  machine.SpawnLoopThread("hog", TenantClass::kSecondary, JobId{});
+  SimTime done_at = -1;
+  sim.Schedule(FromMillis(3), [&] {
+    machine.SpawnThread("w", TenantClass::kPrimary, JobId{}, FromMillis(1),
+                        [&](SimTime now) { done_at = now; });
+  });
+  sim.RunUntil(FromMillis(100));
+  // Waits from t=3ms until the hog's quantum ends at t=10ms, then runs 1ms.
+  EXPECT_EQ(done_at, FromMillis(11));
+  const auto& delays = machine.metrics().primary_sched_delay_us;
+  ASSERT_EQ(delays.Count(), 1u);
+  EXPECT_EQ(delays.Max(), 7000);  // 7 ms in us
+}
+
+TEST(SimMachineTest, QuantumRenewalWithoutWaiters) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1, FromMillis(10)), "m0");
+  const JobId job = machine.CreateJob("bully");
+  machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  sim.RunUntil(FromMillis(95));
+  // Hog runs continuously; renewals must not accumulate context switches.
+  EXPECT_EQ(*machine.JobCpuTime(job), FromMillis(95));
+  EXPECT_EQ(machine.metrics().busy_ns[static_cast<int>(TenantClass::kOs)], 0);
+}
+
+TEST(SimMachineTest, JobAffinityRestrictsPlacement) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(2), "m0");
+  const JobId job = machine.CreateJob("sec");
+  ASSERT_TRUE(machine.SetJobAffinity(job, CpuSet::Single(1)).ok());
+  machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  sim.RunUntil(FromMillis(5));
+  EXPECT_EQ(machine.IdleMask(), CpuSet::Single(0));  // core 1 busy, core 0 idle
+}
+
+TEST(SimMachineTest, ShrinkingAffinityPreemptsImmediately) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(2), "m0");
+  const JobId job = machine.CreateJob("sec");
+  machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  sim.RunUntil(FromMillis(5));
+  EXPECT_FALSE(machine.IdleMask().Test(0));  // hog took the lowest idle core
+  ASSERT_TRUE(machine.SetJobAffinity(job, CpuSet::Single(1)).ok());
+  EXPECT_TRUE(machine.IdleMask().Test(0));
+  EXPECT_FALSE(machine.IdleMask().Test(1));
+  EXPECT_GE(machine.metrics().preemptions, 1);
+  sim.RunUntil(FromMillis(10));
+  EXPECT_EQ(*machine.JobCpuTime(job), FromMillis(10));  // no CPU time lost
+}
+
+TEST(SimMachineTest, GrowingAffinityPicksUpQueuedThreads) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(2, FromMillis(50)), "m0");
+  const JobId job = machine.CreateJob("sec");
+  ASSERT_TRUE(machine.SetJobAffinity(job, CpuSet::Single(0)).ok());
+  machine.SpawnLoopThread("hog1", TenantClass::kSecondary, job);
+  machine.SpawnLoopThread("hog2", TenantClass::kSecondary, job);  // queues behind hog1
+  sim.RunUntil(FromMillis(5));
+  EXPECT_TRUE(machine.IdleMask().Test(1));
+  ASSERT_TRUE(machine.SetJobAffinity(job, CpuSet::FirstN(2)).ok());
+  EXPECT_EQ(machine.IdleCount(), 0);  // hog2 stolen onto core 1 immediately
+  sim.RunUntil(FromMillis(10));
+  EXPECT_EQ(*machine.JobCpuTime(job), FromMillis(15));  // 10 + 5
+}
+
+TEST(SimMachineTest, EmptyAffinityMaskRejected) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(2), "m0");
+  const JobId job = machine.CreateJob("sec");
+  EXPECT_FALSE(machine.SetJobAffinity(job, CpuSet()).ok());
+  EXPECT_FALSE(machine.SetJobAffinity(job, CpuSet::Range(10, 12)).ok());  // outside machine
+}
+
+TEST(SimMachineTest, RateCapEnforcesDutyCycle) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1), "m0");  // throttle interval 20 ms
+  const JobId job = machine.CreateJob("sec");
+  ASSERT_TRUE(machine.SetJobCpuRateCap(job, 0.25).ok());
+  machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  sim.RunUntil(kSecond);
+  // 25% of one core: 5 ms per 20 ms interval, 50 intervals.
+  EXPECT_EQ(*machine.JobCpuTime(job), FromMillis(250));
+}
+
+TEST(SimMachineTest, RateCapAppliesAcrossCores) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(4), "m0");
+  const JobId job = machine.CreateJob("sec");
+  ASSERT_TRUE(machine.SetJobCpuRateCap(job, 0.5).ok());
+  for (int i = 0; i < 4; ++i) {
+    machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  }
+  sim.RunUntil(kSecond);
+  // 50% of 4 cores = 2 core-seconds per second.
+  EXPECT_NEAR(ToSeconds(*machine.JobCpuTime(job)), 2.0, 0.05);
+}
+
+TEST(SimMachineTest, ThrottledJobFreesCoresForOthers) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1, FromMillis(100)), "m0");
+  const JobId job = machine.CreateJob("sec");
+  ASSERT_TRUE(machine.SetJobCpuRateCap(job, 0.10).ok());  // 2 ms per 20 ms
+  machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  SimTime done_at = -1;
+  sim.Schedule(FromMillis(3), [&] {
+    machine.SpawnThread("w", TenantClass::kPrimary, JobId{}, FromMillis(1),
+                        [&](SimTime now) { done_at = now; });
+  });
+  sim.RunUntil(FromMillis(100));
+  // Hog exhausts its 2 ms budget at t=2 ms and the core goes idle, so the
+  // primary worker dispatches immediately at t=3 ms despite the 100 ms quantum.
+  EXPECT_EQ(done_at, FromMillis(4));
+}
+
+TEST(SimMachineTest, RemovingRateCapUnthrottles) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1), "m0");
+  const JobId job = machine.CreateJob("sec");
+  ASSERT_TRUE(machine.SetJobCpuRateCap(job, 0.05).ok());
+  machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  sim.RunUntil(FromMillis(100));
+  ASSERT_TRUE(machine.SetJobCpuRateCap(job, 0).ok());
+  const SimDuration before = *machine.JobCpuTime(job);
+  sim.RunUntil(FromMillis(200));
+  EXPECT_EQ(*machine.JobCpuTime(job) - before, FromMillis(100));  // full speed
+}
+
+TEST(SimMachineTest, WorkStealingWhenCoreIdles) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(2, FromMillis(50)), "m0");
+  machine.SpawnLoopThread("hog0", TenantClass::kSecondary, JobId{});
+  const ThreadId hog1 = machine.SpawnLoopThread("hog1", TenantClass::kSecondary, JobId{});
+  SimTime done_at = -1;
+  sim.Schedule(FromMillis(1), [&] {
+    // Queues on core 0 (lowest id wins the shortest-queue tie).
+    machine.SpawnThread("w", TenantClass::kPrimary, JobId{}, FromMillis(1),
+                        [&](SimTime now) { done_at = now; });
+  });
+  sim.Schedule(FromMillis(2), [&] { ASSERT_TRUE(machine.KillThread(hog1).ok()); });
+  sim.RunUntil(FromMillis(40));
+  // The worker queued behind hog0 on core 0; when hog1 died at t=2, core 1
+  // went idle and stole the worker from core 0's queue.
+  EXPECT_EQ(done_at, FromMillis(3));
+  EXPECT_EQ(machine.metrics().steals, 1);
+}
+
+TEST(SimMachineTest, KillJobTerminatesAllThreads) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(4), "m0");
+  const JobId job = machine.CreateJob("sec");
+  for (int i = 0; i < 8; ++i) {
+    machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  }
+  sim.RunUntil(FromMillis(5));
+  EXPECT_EQ(machine.IdleCount(), 0);
+  EXPECT_EQ(*machine.JobLiveThreads(job), 8);
+  ASSERT_TRUE(machine.KillJob(job).ok());
+  EXPECT_EQ(machine.IdleCount(), 4);
+  EXPECT_EQ(*machine.JobLiveThreads(job), 0);
+  // CPU accounting is preserved after death.
+  EXPECT_EQ(*machine.JobCpuTime(job), FromMillis(20));
+}
+
+TEST(SimMachineTest, JobCpuTimeIncludesInFlightSlice) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1, kSecond), "m0");
+  const JobId job = machine.CreateJob("sec");
+  machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  sim.RunUntil(FromMillis(7));  // mid-slice
+  EXPECT_EQ(*machine.JobCpuTime(job), FromMillis(7));
+}
+
+TEST(SimMachineTest, BurstMetricCountsReadyThreads) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(4), "m0");
+  for (int i = 0; i < 15; ++i) {
+    machine.SpawnThread("w", TenantClass::kPrimary, JobId{}, FromMicros(100), nullptr);
+  }
+  sim.RunUntilEmpty();
+  EXPECT_GE(machine.metrics().max_ready_burst_5us, 15);
+}
+
+TEST(SimMachineTest, ThreadAffinityIntersectsJobMask) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(4), "m0");
+  const JobId job = machine.CreateJob("sec");
+  ASSERT_TRUE(machine.SetJobAffinity(job, CpuSet::Range(0, 2)).ok());
+  const ThreadId tid = machine.SpawnLoopThread("hog", TenantClass::kSecondary, job);
+  ASSERT_TRUE(machine.SetThreadAffinity(tid, CpuSet::Single(1)).ok());
+  sim.RunUntil(FromMillis(5));
+  EXPECT_FALSE(machine.IdleMask().Test(1));
+  EXPECT_TRUE(machine.IdleMask().Test(0));
+}
+
+TEST(SimMachineTest, MemoryAccounting) {
+  Simulator sim;
+  MachineSpec spec = TinySpec(1);
+  spec.memory_bytes = 1000;
+  SimMachine machine(&sim, spec, "m0");
+  const JobId job = machine.CreateJob("sec");
+  ASSERT_TRUE(machine.AddJobMemory(job, 600).ok());
+  EXPECT_EQ(machine.FreeMemoryBytes(), 400);
+  EXPECT_EQ(*machine.JobMemory(job), 600);
+  EXPECT_FALSE(machine.AddJobMemory(job, -700).ok());  // would go negative
+  ASSERT_TRUE(machine.KillJob(job).ok());
+  EXPECT_EQ(machine.FreeMemoryBytes(), 1000);  // killing releases memory
+}
+
+TEST(SimMachineTest, CompletionCallbackCanSpawn) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1), "m0");
+  SimTime chained_done = -1;
+  machine.SpawnThread("parent", TenantClass::kPrimary, JobId{}, FromMillis(1), [&](SimTime) {
+    machine.SpawnThread("child", TenantClass::kPrimary, JobId{}, FromMillis(2),
+                        [&](SimTime now) { chained_done = now; });
+  });
+  sim.RunUntilEmpty();
+  EXPECT_EQ(chained_done, FromMillis(3));
+}
+
+TEST(SimMachineTest, InvalidIdsAreErrors) {
+  Simulator sim;
+  SimMachine machine(&sim, TinySpec(1), "m0");
+  EXPECT_FALSE(machine.SetJobAffinity(JobId{5}, CpuSet::FirstN(1)).ok());
+  EXPECT_FALSE(machine.KillJob(JobId{}).ok());
+  EXPECT_FALSE(machine.KillThread(ThreadId{99}).ok());
+  EXPECT_FALSE(machine.JobCpuTime(JobId{-1}).ok());
+  EXPECT_FALSE(machine.SetJobCpuRateCap(JobId{0}, 0.5).ok());  // no job created yet
+}
+
+}  // namespace
+}  // namespace perfiso

@@ -1,0 +1,104 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace perfiso {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+  EXPECT_EQ(sim.EventsExecuted(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilEmpty();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.RunUntilEmpty();
+  SimTime fired_at = -1;
+  sim.Schedule(50, [&] { fired_at = sim.Now(); });  // in the past
+  sim.RunUntilEmpty();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockPastLastEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(200, [&] { ++fired; });
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.ScheduleAfter(10, recurse);
+    }
+  };
+  sim.Schedule(0, recurse);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(&sim, /*start=*/5, /*period=*/10, [&](SimTime now) { fires.push_back(now); });
+  sim.RunUntil(36);
+  EXPECT_EQ(fires, (std::vector<SimTime>{5, 15, 25, 35}));
+  task.Cancel();
+  sim.RunUntil(100);
+  EXPECT_EQ(fires.size(), 4u);
+}
+
+TEST(PeriodicTaskTest, CancelFromWithinTick) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(&sim, 0, 10, [&](SimTime) {
+    if (++count == 3) {
+      task.Cancel();
+    }
+  });
+  sim.RunUntil(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTaskTest, DestructionStopsFiring) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(&sim, 0, 10, [&](SimTime) { ++count; });
+    sim.RunUntil(25);
+  }
+  sim.RunUntil(1000);
+  EXPECT_EQ(count, 3);  // t=0, 10, 20
+}
+
+}  // namespace
+}  // namespace perfiso

@@ -1,0 +1,89 @@
+#include "src/util/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace perfiso {
+namespace {
+
+TEST(ConfigTest, ParsesKeysCommentsAndBlanks) {
+  auto result = ConfigMap::Parse(
+      "# PerfIso cluster config\n"
+      "cpu.buffer_cores = 8\n"
+      "\n"
+      "io.hdfs_limit_mbps = 60.5\n"
+      "kill_switch = false\n"
+      "name = IndexServe-Row1\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ConfigMap& config = *result;
+  EXPECT_EQ(config.GetIntOr("cpu.buffer_cores", 0), 8);
+  EXPECT_DOUBLE_EQ(config.GetDoubleOr("io.hdfs_limit_mbps", 0), 60.5);
+  EXPECT_FALSE(config.GetBoolOr("kill_switch", true));
+  EXPECT_EQ(config.GetStringOr("name", ""), "IndexServe-Row1");
+}
+
+TEST(ConfigTest, MissingKeysReturnDefaults) {
+  auto config = ConfigMap::Parse("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetIntOr("absent", 42), 42);
+  EXPECT_TRUE(config->GetBoolOr("absent", true));
+}
+
+TEST(ConfigTest, MalformedLineReportsLineNumber) {
+  auto result = ConfigMap::Parse("a = 1\nbroken line\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ConfigTest, MalformedIntIsError) {
+  auto config = ConfigMap::Parse("x = notanumber\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(config->GetInt("x", 0).ok());
+  EXPECT_EQ(config->GetIntOr("x", 5), 5);
+}
+
+TEST(ConfigTest, MalformedBoolIsError) {
+  auto config = ConfigMap::Parse("x = yes\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(config->GetBool("x", false).ok());
+}
+
+TEST(ConfigTest, SerializeRoundTrip) {
+  ConfigMap config;
+  config.SetInt("cpu.buffer_cores", 8);
+  config.SetBool("kill_switch", true);
+  config.SetDouble("rate", 0.25);
+  config.SetString("mode", "blind");
+  auto reparsed = ConfigMap::Parse(config.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->entries(), config.entries());
+}
+
+TEST(ConfigTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/perfiso_config_test.cfg";
+  ConfigMap config;
+  config.SetInt("a", 1);
+  config.SetString("b", "two");
+  ASSERT_TRUE(config.WriteFile(path).ok());
+  auto loaded = ConfigMap::LoadFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->entries(), config.entries());
+  std::remove(path.c_str());
+}
+
+TEST(ConfigTest, LoadMissingFileIsNotFound) {
+  auto result = ConfigMap::LoadFile("/nonexistent/perfiso.cfg");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ConfigTest, EqualsSignInValueKept) {
+  auto config = ConfigMap::Parse("expr = a=b\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetStringOr("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace perfiso

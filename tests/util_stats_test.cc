@@ -1,0 +1,91 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace perfiso {
+namespace {
+
+TEST(LatencyRecorderTest, EmptyReturnsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Count(), 0u);
+  EXPECT_EQ(rec.P99(), 0);
+  EXPECT_EQ(rec.Mean(), 0);
+}
+
+TEST(LatencyRecorderTest, ExactPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.Add(i);
+  }
+  EXPECT_EQ(rec.P50(), 50);
+  EXPECT_EQ(rec.P95(), 95);
+  EXPECT_EQ(rec.P99(), 99);
+  EXPECT_EQ(rec.Percentile(100), 100);
+  EXPECT_EQ(rec.Percentile(0), 1);
+  EXPECT_EQ(rec.Min(), 1);
+  EXPECT_EQ(rec.Max(), 100);
+  EXPECT_NEAR(rec.Mean(), 50.5, 1e-9);
+}
+
+TEST(LatencyRecorderTest, UnsortedInput) {
+  LatencyRecorder rec;
+  rec.Add(9);
+  rec.Add(1);
+  rec.Add(5);
+  EXPECT_EQ(rec.P50(), 5);
+  EXPECT_EQ(rec.Max(), 9);
+}
+
+TEST(LatencyRecorderTest, InterleavedAddAndQuery) {
+  LatencyRecorder rec;
+  rec.Add(10);
+  EXPECT_EQ(rec.P99(), 10);
+  rec.Add(20);
+  EXPECT_EQ(rec.P99(), 20);  // cache must invalidate on Add
+  rec.Clear();
+  EXPECT_EQ(rec.Count(), 0u);
+}
+
+TEST(MovingAverageTest, WindowEviction) {
+  MovingAverage ma(3);
+  ma.Add(3);
+  EXPECT_EQ(ma.Value(), 3);
+  ma.Add(6);
+  ma.Add(9);
+  EXPECT_EQ(ma.Value(), 6);
+  ma.Add(12);  // evicts 3
+  EXPECT_EQ(ma.Value(), 9);
+  EXPECT_TRUE(ma.Full());
+}
+
+TEST(MeanVarTest, KnownValues) {
+  MeanVar mv;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    mv.Add(x);
+  }
+  EXPECT_NEAR(mv.Mean(), 5.0, 1e-9);
+  EXPECT_NEAR(mv.Variance(), 32.0 / 7.0, 1e-9);  // sample variance
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0, 10, 10);
+  h.Add(-5);   // clamps to first bucket
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(100);  // clamps to last bucket
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(9), 2u);
+}
+
+TEST(HistogramTest, ApproxPercentileWithinBucketWidth) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(i % 100);
+  }
+  EXPECT_NEAR(h.ApproxPercentile(50), 50, 2);
+  EXPECT_NEAR(h.ApproxPercentile(99), 99, 2);
+}
+
+}  // namespace
+}  // namespace perfiso

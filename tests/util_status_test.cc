@@ -1,0 +1,70 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace perfiso {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad core count");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad core count");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad core count");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(PermissionDeniedError("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(OkStatus(), Status());
+  EXPECT_EQ(InternalError("a"), InternalError("a"));
+  EXPECT_FALSE(InternalError("a") == InternalError("b"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+Status ReturnsEarly(bool fail) {
+  PERFISO_RETURN_IF_ERROR(fail ? InternalError("boom") : OkStatus());
+  return NotFoundError("reached end");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(ReturnsEarly(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(ReturnsEarly(false).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace perfiso

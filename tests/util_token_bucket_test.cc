@@ -1,0 +1,55 @@
+#include "src/util/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace perfiso {
+namespace {
+
+TEST(TokenBucketTest, StartsFull) {
+  TokenBucket tb(/*rate=*/100, /*burst=*/10);
+  EXPECT_TRUE(tb.TryConsume(10, 0));
+  EXPECT_FALSE(tb.TryConsume(1, 0));
+}
+
+TEST(TokenBucketTest, RefillsOverTime) {
+  TokenBucket tb(100, 10);
+  EXPECT_TRUE(tb.TryConsume(10, 0));
+  // 100 tokens/s -> 5 tokens after 50 ms.
+  EXPECT_FALSE(tb.TryConsume(6, FromMillis(50)));
+  EXPECT_TRUE(tb.TryConsume(5, FromMillis(50)));
+}
+
+TEST(TokenBucketTest, CapsAtBurst) {
+  TokenBucket tb(100, 10);
+  EXPECT_TRUE(tb.TryConsume(10, 0));
+  // After 10 seconds the bucket holds only `burst` tokens.
+  EXPECT_FALSE(tb.TryConsume(11, 10 * kSecond));
+  EXPECT_TRUE(tb.TryConsume(10, 10 * kSecond));
+}
+
+TEST(TokenBucketTest, NextAvailableComputesWait) {
+  TokenBucket tb(100, 10);
+  EXPECT_TRUE(tb.TryConsume(10, 0));
+  const SimTime when = tb.NextAvailable(5, 0);
+  EXPECT_EQ(when, FromMillis(50));
+  EXPECT_TRUE(tb.TryConsume(5, when));
+}
+
+TEST(TokenBucketTest, ForceConsumeGoesNegative) {
+  TokenBucket tb(100, 10);
+  tb.ForceConsume(20, 0);
+  EXPECT_LT(tb.AvailableAt(0), 0);
+  // Debt is paid back by refill before new consumption succeeds.
+  EXPECT_FALSE(tb.TryConsume(1, FromMillis(90)));
+  EXPECT_TRUE(tb.TryConsume(1, FromMillis(200)));
+}
+
+TEST(TokenBucketTest, RateChangeTakesEffect) {
+  TokenBucket tb(100, 100);
+  EXPECT_TRUE(tb.TryConsume(100, 0));
+  tb.set_rate_per_sec(1000);
+  EXPECT_TRUE(tb.TryConsume(99, FromMillis(100)));
+}
+
+}  // namespace
+}  // namespace perfiso

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/machine.h"
+#include "src/sim/simulator.h"
+#include "src/util/stats.h"
+#include "src/workload/bullies.h"
+#include "src/workload/query_trace.h"
+
+namespace perfiso {
+namespace {
+
+TEST(QueryTraceTest, GeneratesRequestedCountWithBoundedFanout) {
+  Rng rng(1);
+  TraceSpec spec;
+  spec.fanout_min = 2;
+  spec.fanout_max = 9;
+  auto trace = GenerateTrace(spec, 5000, &rng);
+  ASSERT_EQ(trace.size(), 5000u);
+  for (const QueryWork& q : trace) {
+    EXPECT_GE(q.fanout, 2);
+    EXPECT_LE(q.fanout, 9);
+    EXPECT_GT(q.size_factor, 0);
+  }
+}
+
+TEST(QueryTraceTest, SizeFactorMeanIsOne) {
+  Rng rng(2);
+  TraceSpec spec;
+  auto trace = GenerateTrace(spec, 100000, &rng);
+  MeanVar mv;
+  for (const QueryWork& q : trace) {
+    mv.Add(q.size_factor);
+  }
+  EXPECT_NEAR(mv.Mean(), 1.0, 0.02);
+}
+
+TEST(QueryTraceTest, DeterministicForSeed) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  auto a = GenerateTrace(TraceSpec{}, 100, &rng_a);
+  auto b = GenerateTrace(TraceSpec{}, 100, &rng_b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fanout, b[i].fanout);
+    EXPECT_DOUBLE_EQ(a[i].size_factor, b[i].size_factor);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(OpenLoopClientTest, RateIsApproximatelyPoisson) {
+  Simulator sim;
+  Rng rng(3);
+  auto trace = GenerateTrace(TraceSpec{}, 100, &rng);
+  int submitted = 0;
+  std::vector<SimTime> arrivals;
+  OpenLoopClient client(&sim, trace, /*qps=*/1000, Rng(4), [&](const QueryWork&, SimTime now) {
+    ++submitted;
+    arrivals.push_back(now);
+  });
+  client.Run(0, 10 * kSecond);
+  sim.RunUntilEmpty();
+  // 10 s at 1000 QPS: ~10000 arrivals (Poisson, sd ~100).
+  EXPECT_NEAR(submitted, 10000, 400);
+  // Open loop: submissions continue regardless of completion (nothing
+  // consumes them here).
+  EXPECT_EQ(client.submitted(), static_cast<uint64_t>(submitted));
+  // Inter-arrival CV should be ~1 for a Poisson process.
+  MeanVar gaps;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.Add(static_cast<double>(arrivals[i] - arrivals[i - 1]));
+  }
+  EXPECT_NEAR(gaps.StdDev() / gaps.Mean(), 1.0, 0.1);
+}
+
+TEST(OpenLoopClientTest, WrapsTraceWhenExhausted) {
+  Simulator sim;
+  Rng rng(5);
+  auto trace = GenerateTrace(TraceSpec{}, 10, &rng);
+  std::vector<uint64_t> ids;
+  OpenLoopClient client(&sim, trace, 1000, Rng(6),
+                        [&](const QueryWork& q, SimTime) { ids.push_back(q.id); });
+  client.Run(0, kSecond);
+  sim.RunUntilEmpty();
+  ASSERT_GT(ids.size(), 20u);
+  EXPECT_EQ(ids[0], ids[10]);  // wrapped around
+}
+
+TEST(CpuBullyTest, ProgressTracksCpuTime) {
+  Simulator sim;
+  MachineSpec spec;
+  spec.num_cores = 4;
+  spec.context_switch = 0;
+  SimMachine machine(&sim, spec, "m0");
+  CpuBully bully(&machine, 8, "bully");
+  EXPECT_EQ(bully.threads(), 8);
+  sim.RunUntil(kSecond);
+  EXPECT_NEAR(bully.Progress(), 4.0, 0.01);  // 4 cores saturated for 1 s
+  bully.Stop();
+  sim.RunUntil(2 * kSecond);
+  EXPECT_NEAR(bully.Progress(), 4.0, 0.01);  // no progress after stop
+}
+
+struct DiskRig {
+  Simulator sim;
+  MachineSpec machine_spec;
+  std::unique_ptr<SimMachine> machine;
+  std::unique_ptr<StripedVolume> volume;
+  std::unique_ptr<IoScheduler> scheduler;
+  JobId job;
+
+  DiskRig() {
+    machine_spec.num_cores = 4;
+    machine_spec.context_switch = 0;
+    machine = std::make_unique<SimMachine>(&sim, machine_spec, "m0");
+    volume = std::make_unique<StripedVolume>(&sim, DiskSpec::Hdd(), 4, "hdd");
+    scheduler = std::make_unique<IoScheduler>(&sim, volume.get(), 4);
+    job = machine->CreateJob("secondary");
+  }
+};
+
+TEST(DiskBullyTest, KeepsQueueDepthAndMixesOps) {
+  DiskRig rig;
+  DiskBully::Options options;
+  options.queue_depth = 4;
+  DiskBully bully(&rig.sim, rig.machine.get(), rig.scheduler.get(), rig.job, options, Rng(9));
+  bully.Start();
+  rig.sim.RunUntil(5 * kSecond);
+  // Sequential 8 KB ops on 4 HDDs at ~0.55 ms each -> thousands of IOPS.
+  EXPECT_GT(bully.completed_ios(), 5000);
+  bully.Stop();
+  const int64_t after_stop = bully.completed_ios();
+  rig.sim.RunUntil(6 * kSecond);
+  EXPECT_LE(bully.completed_ios() - after_stop, options.queue_depth);
+}
+
+TEST(HdfsClientTest, ApproachesConfiguredRates) {
+  DiskRig rig;
+  HdfsClient::Options options;
+  options.client_bytes_per_sec = 10e6;
+  options.replication_bytes_per_sec = 5e6;
+  options.cpu_fraction = 0.05;
+  HdfsClient hdfs(&rig.sim, rig.machine.get(), rig.scheduler.get(), rig.job, options, Rng(11));
+  hdfs.Start();
+  rig.sim.RunUntil(5 * kSecond);
+  // Self-paced at ~15 MB/s combined.
+  EXPECT_NEAR(static_cast<double>(hdfs.bytes_transferred()), 75e6, 15e6);
+  // The CPU footprint is near the configured fraction of the machine.
+  const double cpu_fraction =
+      ToSeconds(rig.machine->metrics().busy_ns[static_cast<int>(TenantClass::kSecondary)]) /
+      (5.0 * rig.machine_spec.num_cores);
+  EXPECT_NEAR(cpu_fraction, 0.05, 0.02);
+  hdfs.Stop();
+}
+
+TEST(MlTrainingJobTest, ComputesAndGrowsMemory) {
+  DiskRig rig;
+  MlTrainingJob::Options options;
+  options.worker_threads = 8;
+  options.memory_growth_per_sec = 1024 * 1024;
+  MlTrainingJob job(&rig.sim, rig.machine.get(), rig.scheduler.get(), rig.job, options);
+  job.Start();
+  rig.sim.RunUntil(4 * kSecond);
+  EXPECT_NEAR(job.Progress(), 16.0, 0.5);  // 4 cores * 4 s
+  const int64_t memory = *rig.machine->JobMemory(rig.job);
+  EXPECT_NEAR(static_cast<double>(memory), 4e6, 1.5e6);
+  job.Stop();
+  EXPECT_EQ(*rig.machine->JobLiveThreads(rig.job), 0);
+}
+
+}  // namespace
+}  // namespace perfiso
