@@ -31,6 +31,7 @@ SingleBoxResult RunBlind(const std::function<void(PerfIsoConfig&)>& tweak) {
 }  // namespace
 
 int main() {
+  StartReport("ablations");
   PrintHeader("Design-choice ablations", "DESIGN.md §4",
               "buffer size, poll interval, step policy, placement, update policy");
 
@@ -38,11 +39,13 @@ int main() {
   base.qps = 2000;
   base.measure = 5 * kSecond;
   const SingleBoxResult standalone = RunSingleBox(base);
+  RecordRow("standalone", standalone);
   std::printf("standalone p99: %.2f ms\n\n", standalone.p99_ms);
 
   std::printf("--- 1. buffer cores (B) ---\n");
   for (int buffer : {0, 2, 4, 8, 12, 16}) {
     const auto r = RunBlind([&](PerfIsoConfig& c) { c.blind.buffer_cores = buffer; });
+    RecordRow("buffer_cores=" + std::to_string(buffer), r);
     std::printf("  B=%-2d  p99 %+7.2f ms   secondary %5.1f%%   work %6.1f core-s\n", buffer,
                 r.p99_ms - standalone.p99_ms, r.secondary_util * 100, r.secondary_progress);
   }
@@ -50,6 +53,7 @@ int main() {
   std::printf("--- 2. poll interval ---\n");
   for (double ms : {0.2, 1.0, 5.0, 20.0, 100.0}) {
     const auto r = RunBlind([&](PerfIsoConfig& c) { c.poll_interval = FromMillis(ms); });
+    RecordRow("poll_interval_ms=" + std::to_string(ms), r);
     std::printf("  poll=%-6.1fms  p99 %+7.2f ms   secondary %5.1f%%\n", ms,
                 r.p99_ms - standalone.p99_ms, r.secondary_util * 100);
   }
@@ -58,6 +62,7 @@ int main() {
   for (bool proportional : {true, false}) {
     const auto r =
         RunBlind([&](PerfIsoConfig& c) { c.blind.proportional_step = proportional; });
+    RecordRow(proportional ? "step=proportional" : "step=unit", r);
     std::printf("  %-13s p99 %+7.2f ms   secondary %5.1f%%\n",
                 proportional ? "proportional" : "unit-step", r.p99_ms - standalone.p99_ms,
                 r.secondary_util * 100);
@@ -72,6 +77,7 @@ int main() {
                      {CorePlacement::kSpread, "spread"}};
   for (const auto& p : kPlacements) {
     const auto r = RunBlind([&](PerfIsoConfig& c) { c.blind.placement = p.placement; });
+    RecordRow(std::string("placement=") + p.name, r);
     std::printf("  %-10s p99 %+7.2f ms   secondary %5.1f%%\n", p.name,
                 r.p99_ms - standalone.p99_ms, r.secondary_util * 100);
   }
@@ -82,6 +88,9 @@ int main() {
     const auto every_poll =
         RunBlind([](PerfIsoConfig& c) { c.blind.update_on_every_poll = true; });
     const auto no_deadband = RunBlind([](PerfIsoConfig& c) { c.blind.idle_deadband = 0; });
+    RecordRow("update=on_demand", on_demand);
+    RecordRow("update=no_deadband", no_deadband);
+    RecordRow("update=every_poll", every_poll);
     std::printf("  on-demand (deadband 2)   p99 %+7.2f ms  secondary %5.1f%%\n",
                 on_demand.p99_ms - standalone.p99_ms, on_demand.secondary_util * 100);
     std::printf("  no deadband              p99 %+7.2f ms  secondary %5.1f%%\n",

@@ -11,6 +11,7 @@ int main() {
   using namespace perfiso;
   using namespace perfiso::bench;
 
+  StartReport("fig04_no_isolation");
   PrintHeader("Colocation without isolation", "Fig. 4a/4b",
               "standalone p50=4ms p99=12ms; mid p99=15/18ms; high p99=349/354ms, "
               "11-32% queries dropped");

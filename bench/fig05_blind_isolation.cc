@@ -13,6 +13,7 @@ int main() {
   using namespace perfiso;
   using namespace perfiso::bench;
 
+  StartReport("fig05_blind_isolation");
   PrintHeader("CPU blind isolation", "Fig. 5a/5b",
               "8 buffer cores keep p99 degradation < 1 ms; avg CPU util rises 21% -> 66% "
               "at 2,000 QPS");

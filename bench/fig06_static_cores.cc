@@ -12,6 +12,7 @@ int main() {
   using namespace perfiso;
   using namespace perfiso::bench;
 
+  StartReport("fig06_static_cores");
   PrintHeader("Static CPU core restriction", "Fig. 6a/6b",
               "24/16 cores degrade latency under load; 8 cores protect the tail but cap "
               "secondary work at ~17% of CPU under peak");

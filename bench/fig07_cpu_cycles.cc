@@ -12,6 +12,7 @@ int main() {
   using namespace perfiso;
   using namespace perfiso::bench;
 
+  StartReport("fig07_cpu_cycles");
   PrintHeader("Static CPU cycle restriction", "Fig. 7a/7b/7c",
               "45%/25%/5% cycle caps all degrade latency and always drop queries "
               "(50% .. ~1%)");

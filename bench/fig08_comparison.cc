@@ -28,6 +28,7 @@ int main() {
   using namespace perfiso;
   using namespace perfiso::bench;
 
+  StartReport("fig08_comparison");
   PrintHeader("Comparison of isolation approaches", "Fig. 8a/8b/8c + §6.1.4",
               "blind & cores protect p99; blind has 13% less idle CPU and 17% more "
               "secondary work than cores; cycles fail");

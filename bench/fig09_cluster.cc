@@ -109,7 +109,25 @@ ClusterResult RunCluster(Secondary secondary) {
   return result;
 }
 
+void RecordCluster(const char* label, const ClusterResult& r) {
+  bench::ReportRow(label, {
+                              {"leaf_avg_ms", r.leaf.avg},
+                              {"leaf_p95_ms", r.leaf.p95},
+                              {"leaf_p99_ms", r.leaf.p99},
+                              {"mla_avg_ms", r.mla.avg},
+                              {"mla_p95_ms", r.mla.p95},
+                              {"mla_p99_ms", r.mla.p99},
+                              {"tla_avg_ms", r.tla.avg},
+                              {"tla_p95_ms", r.tla.p95},
+                              {"tla_p99_ms", r.tla.p99},
+                              {"mean_busy", r.mean_busy},
+                              {"completed", static_cast<double>(r.completed)},
+                              {"drops", static_cast<double>(r.drops)},
+                          });
+}
+
 void PrintCluster(const char* label, const ClusterResult& r) {
+  RecordCluster(label, r);
   std::printf("%-28s | leaf avg/p95/p99: %6.2f %6.2f %6.2f | MLA: %6.2f %6.2f %6.2f | "
               "TLA: %6.2f %6.2f %6.2f | busy %4.1f%% | done %lld drops %lld\n",
               label, r.leaf.avg, r.leaf.p95, r.leaf.p99, r.mla.avg, r.mla.p95, r.mla.p99,
@@ -121,6 +139,7 @@ void PrintCluster(const char* label, const ClusterResult& r) {
 
 int main() {
   using namespace perfiso::bench;
+  StartReport("fig09_cluster");
   PrintHeader("75-machine cluster, per-layer latency", "Fig. 9a/9b/9c",
               "P99 increase vs standalone at most: CPU-bound 0.8/0.4/1.1 ms and disk-bound "
               "0.8/1.2/1.1 ms at IndexServe/MLA/TLA");

@@ -3,12 +3,119 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 
 namespace perfiso {
 namespace bench {
+
+namespace {
+
+struct ReportRowData {
+  std::string label;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct Report {
+  std::string name;
+  std::vector<ReportRowData> rows;
+  bool written = false;
+};
+
+Report* ActiveReport() {
+  static Report report;
+  return &report;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void StartReport(const std::string& bench_name) {
+  Report* report = ActiveReport();
+  report->name = bench_name;
+  // Benches return from main() through several paths; serializing at exit
+  // keeps the mains free of bookkeeping.
+  std::atexit([] { FinishReport(); });
+}
+
+void ReportRow(const std::string& label,
+               const std::vector<std::pair<std::string, double>>& metrics) {
+  ActiveReport()->rows.push_back(ReportRowData{label, metrics});
+}
+
+void RecordRow(const std::string& label, const SingleBoxResult& r) {
+  ReportRow(label, {
+                       {"p50_ms", r.p50_ms},
+                       {"p95_ms", r.p95_ms},
+                       {"p99_ms", r.p99_ms},
+                       {"mean_ms", r.mean_ms},
+                       {"drop_fraction", r.drop_fraction},
+                       {"primary_util", r.primary_util},
+                       {"secondary_util", r.secondary_util},
+                       {"os_util", r.os_util},
+                       {"idle_fraction", r.idle_fraction},
+                       {"secondary_progress_core_s", r.secondary_progress},
+                       {"hedges", static_cast<double>(r.hedges)},
+                       {"queries", static_cast<double>(r.queries)},
+                   });
+}
+
+void FinishReport() {
+  Report* report = ActiveReport();
+  if (report->written || report->name.empty()) {
+    return;
+  }
+  report->written = true;
+  const char* out_dir = std::getenv("PERFISO_BENCH_OUT");
+  const std::string path =
+      (out_dir != nullptr && out_dir[0] != '\0' ? std::string(out_dir) + "/" : std::string()) +
+      "BENCH_" + report->name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %.6g,\n  \"rows\": [",
+               JsonEscape(report->name).c_str(), BenchScale());
+  for (size_t i = 0; i < report->rows.size(); ++i) {
+    const ReportRowData& row = report->rows[i];
+    std::fprintf(f, "%s\n    {\"label\": \"%s\", \"metrics\": {", i == 0 ? "" : ",",
+                 JsonEscape(row.label).c_str());
+    for (size_t m = 0; m < row.metrics.size(); ++m) {
+      std::fprintf(f, "%s\"%s\": %.9g", m == 0 ? "" : ", ",
+                   JsonEscape(row.metrics[m].first).c_str(), row.metrics[m].second);
+    }
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), report->rows.size());
+}
 
 double BenchScale() {
   const char* env = std::getenv("PERFISO_BENCH_SCALE");
@@ -88,6 +195,7 @@ void PrintRowHeader() {
 }
 
 void PrintRow(const std::string& label, const SingleBoxResult& result) {
+  RecordRow(label, result);
   std::printf("%-34s %8.2f %8.2f %8.2f %6.1f%% | %5.1f%% %5.1f%% %4.1f%% %5.1f%% | %9.1fs\n",
               label.c_str(), result.p50_ms, result.p95_ms, result.p99_ms,
               result.drop_fraction * 100, result.primary_util * 100,

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/cluster/index_node.h"
 #include "src/perfiso/perfiso_config.h"
@@ -52,11 +54,30 @@ struct SingleBoxResult {
 
 SingleBoxResult RunSingleBox(const SingleBoxScenario& scenario);
 
+// --- Machine-readable reports ------------------------------------------------
+//
+// Every bench binary calls StartReport("<name>") once at startup; rows are
+// then accumulated (PrintRow records automatically) and serialized to
+// BENCH_<name>.json when the process exits — this is the perf-baseline
+// trajectory the ROADMAP tracks. The output directory defaults to the current
+// working directory and can be overridden with PERFISO_BENCH_OUT.
+
+// Opens the report and registers the at-exit writer. Safe to call once only.
+void StartReport(const std::string& bench_name);
+// Records one row of named metrics (generic form, for cluster-style benches).
+void ReportRow(const std::string& label,
+               const std::vector<std::pair<std::string, double>>& metrics);
+// Records the standard single-box row (what PrintRow also does internally).
+void RecordRow(const std::string& label, const SingleBoxResult& result);
+// Serializes the report now; otherwise runs automatically at exit.
+void FinishReport();
+
 // --- Output helpers -----------------------------------------------------------
 
 void PrintHeader(const std::string& title, const std::string& figure,
                  const std::string& paper_summary);
-// Prints one labeled result row with the standard latency/util columns.
+// Prints one labeled result row with the standard latency/util columns, and
+// records it into the active report.
 void PrintRow(const std::string& label, const SingleBoxResult& result);
 void PrintRowHeader();
 // "paper: ..." annotation line under a row.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification + sanitizer gate for the PerfIso reproduction.
+#
+#   1. Plain build: configure, build everything, run all ctest suites.
+#   2. Sanitizer build: the same suite under ASan + UBSan (LeakSanitizer is
+#      part of ASan on Linux), so callback-cycle leaks like the IndexServer
+#      QueryState bug fail the gate instead of shipping.
+#
+# Usage: scripts/verify.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+SKIP_SAN=0
+if [[ "${1:-}" == "--skip-sanitizers" ]]; then
+  SKIP_SAN=1
+fi
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_SAN" == "1" ]]; then
+  echo "verify: OK (sanitizer pass skipped)"
+  exit 0
+fi
+
+echo "=== sanitizer gate: ASan/UBSan/LSan over the full suite ==="
+cmake -B build-asan -S . -DPERFISO_SANITIZE=ON
+cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=1 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "verify: OK"

@@ -7,6 +7,16 @@
 namespace perfiso {
 
 struct IndexServer::QueryState {
+  explicit QueryState(std::shared_ptr<int64_t> live) : live_counter(std::move(live)) {
+    ++*live_counter;
+  }
+  ~QueryState() { --*live_counter; }
+  QueryState(const QueryState&) = delete;
+  QueryState& operator=(const QueryState&) = delete;
+
+  // Destruction tracker shared with the owning server; lets tests assert that
+  // no query state survives a drained simulation (lifetime regression hook).
+  std::shared_ptr<int64_t> live_counter;
   QueryWork work;
   QueryDoneFn done;
   Rng rng{0};
@@ -15,7 +25,6 @@ struct IndexServer::QueryState {
   std::vector<bool> chunk_done;
   std::vector<bool> chunk_hedged;
   int snippet_reads_left = 0;
-  std::function<void(SimTime)> snippet_chain;
   bool finished = false;
 };
 
@@ -57,7 +66,7 @@ void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
     return;
   }
   ++inflight_;
-  auto q = std::make_shared<QueryState>();
+  auto q = std::make_shared<QueryState>(live_query_states_);
   q->work = work;
   q->done = std::move(done);
   // Mix in the server identity: each machine holds a different index
@@ -97,6 +106,9 @@ bool IndexServer::ExpireIfOverdue(const std::shared_ptr<QueryState>& q) {
     result.dropped = true;
     q->done(result);
   }
+  // Terminal state: release the completion callback (it may capture caller
+  // state) so the query holds nothing beyond its own fields.
+  q->done = nullptr;
   return true;
 }
 
@@ -205,6 +217,14 @@ void IndexServer::StartSnippets(const std::shared_ptr<QueryState>& q) {
   // Dependent document lookups: each read's target comes from the previous
   // one, so they serialize (this is deliberately on the critical path).
   q->snippet_reads_left = config_.snippet_reads;
+  SubmitSnippetRead(q);
+}
+
+void IndexServer::SubmitSnippetRead(const std::shared_ptr<QueryState>& q) {
+  // The continuation lives only in the in-flight IoRequest, never inside *q:
+  // storing it in the query (as a reusable "snippet chain") would make the
+  // state own a std::function that captures its own shared_ptr — a reference
+  // cycle that leaks every query with snippet reads.
   IoRequest read;
   read.owner = kIoOwnerIndexData;
   read.op = IoOp::kRead;
@@ -215,20 +235,13 @@ void IndexServer::StartSnippets(const std::shared_ptr<QueryState>& q) {
       return;
     }
     if (--q->snippet_reads_left > 0) {
-      IoRequest next;
-      next.owner = kIoOwnerIndexData;
-      next.op = IoOp::kRead;
-      next.bytes = config_.snippet_read_bytes;
-      next.sequential = false;
-      next.on_complete = q->snippet_chain;
-      ssd_->Submit(std::move(next));
+      SubmitSnippetRead(q);
       return;
     }
     machine_->SpawnThread("is-snippet", TenantClass::kPrimary, job_,
                           ScaledUs(config_.snippet_cpu_us, q->work.size_factor),
                           [this, q](SimTime) { FinishQuery(q); });
   };
-  q->snippet_chain = read.on_complete;
   ssd_->Submit(std::move(read));
 }
 
@@ -274,6 +287,7 @@ void IndexServer::CompleteNow(const std::shared_ptr<QueryState>& q) {
   if (q->done) {
     q->done(result);
   }
+  q->done = nullptr;
 }
 
 void IndexServer::AppendLog(const std::shared_ptr<QueryState>& q) {

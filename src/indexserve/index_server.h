@@ -132,6 +132,11 @@ class IndexServer {
   void ResetStats();
 
   int inflight() const { return inflight_; }
+  // Number of QueryState objects currently alive. Test hook for the lifetime
+  // regression: after the simulator fully drains and all completion events
+  // (including in-flight I/O) have fired, this must return to zero — a stored
+  // callback capturing the state's own shared_ptr would keep it nonzero.
+  int64_t live_query_states() const { return *live_query_states_; }
   JobId job() const { return job_; }
   SimMachine* machine() const { return machine_; }
   const IndexServeConfig& config() const { return config_; }
@@ -148,6 +153,8 @@ class IndexServer {
   void ChunkDone(const std::shared_ptr<QueryState>& q, int chunk);
   void StartRank(const std::shared_ptr<QueryState>& q);
   void StartSnippets(const std::shared_ptr<QueryState>& q);
+  // Issues one dependent snippet read; its completion submits the next.
+  void SubmitSnippetRead(const std::shared_ptr<QueryState>& q);
   void FinishQuery(const std::shared_ptr<QueryState>& q);
   void CompleteNow(const std::shared_ptr<QueryState>& q);
   void AppendLog(const std::shared_ptr<QueryState>& q);
@@ -167,6 +174,9 @@ class IndexServer {
   int64_t log_buffered_bytes_ = 0;   // accumulated, not yet in a flush
   int64_t log_inflight_bytes_ = 0;   // handed to the HDD, not yet durable
   std::deque<std::shared_ptr<QueryState>> log_waiters_;
+  // Shared with each QueryState, which decrements it on destruction; outlives
+  // the server if states do (which is itself the bug the counter detects).
+  std::shared_ptr<int64_t> live_query_states_ = std::make_shared<int64_t>(0);
 };
 
 }  // namespace perfiso

@@ -186,6 +186,41 @@ CalibrationResult RunStandalone(double qps, SimDuration measure = 6 * kSecond) {
   return result;
 }
 
+// Lifetime regression for the QueryState shared_ptr cycle: a callback stored
+// inside the state that captures the state's own shared_ptr (as the old
+// "snippet chain" did) keeps every query alive forever. The live-state counter
+// decrements in ~QueryState, so any such cycle shows up as a nonzero count
+// after the simulator drains.
+TEST(IndexServerTest, AllQueryStateDestroyedAfterDrain) {
+  Simulator sim;
+  IndexNodeOptions options;  // defaults: snippet reads on, hedging on, HDD log on
+  IndexNodeRig rig(&sim, options, "m0");
+  ASSERT_GT(rig.server().config().snippet_reads, 0);
+  for (int i = 0; i < 200; ++i) {
+    rig.server().SubmitQuery(MakeQuery(static_cast<uint64_t>(i)));
+  }
+  EXPECT_GT(rig.server().live_query_states(), 0);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(rig.server().stats().completed + rig.server().stats().TotalDropped(), 200);
+  EXPECT_EQ(rig.server().inflight(), 0);
+  EXPECT_EQ(rig.server().live_query_states(), 0);
+}
+
+// Same invariant on the expiry path: queries abandoned mid-pipeline (including
+// with snippet reads already in flight) must also release all state.
+TEST(IndexServerTest, ExpiredQueryStateDestroyedAfterDrain) {
+  Simulator sim;
+  IndexNodeOptions options;
+  options.indexserve.timeout = FromMillis(2);  // expires mid-pipeline
+  IndexNodeRig rig(&sim, options, "m0");
+  for (int i = 0; i < 200; ++i) {
+    rig.server().SubmitQuery(MakeQuery(static_cast<uint64_t>(i)));
+  }
+  sim.RunUntilEmpty();
+  EXPECT_GT(rig.server().stats().dropped_timeout, 0);
+  EXPECT_EQ(rig.server().live_query_states(), 0);
+}
+
 TEST(IndexServeCalibration, StandaloneAt2000Qps) {
   const CalibrationResult r = RunStandalone(2000);
   ::testing::Test::RecordProperty("p50", r.p50);
