@@ -19,27 +19,31 @@ Cluster::Cluster(Simulator* sim, const ClusterOptions& options)
     : sim_(sim), options_(options), rng_(options.seed) {
   const ClusterTopology& topo = options_.topology;
   assert(topo.columns > 0 && topo.rows > 0 && topo.tla_machines > 0);
+  fabric_ = std::make_unique<Fabric>(sim, options_.fabric);
   index_nodes_.reserve(static_cast<size_t>(topo.columns * topo.rows));
   for (int row = 0; row < topo.rows; ++row) {
     for (int col = 0; col < topo.columns; ++col) {
       IndexNodeOptions node = options_.node;
       node.seed = rng_.Next();
-      index_nodes_.push_back(std::make_unique<IndexNodeRig>(
-          sim, node, "is-r" + std::to_string(row) + "c" + std::to_string(col)));
+      auto rig = std::make_unique<IndexNodeRig>(
+          sim, node, "is-r" + std::to_string(row) + "c" + std::to_string(col));
+      const int endpoint = fabric_->AttachMachine(rig->machine().name());
+      assert(endpoint == static_cast<int>(index_nodes_.size()));
+      (void)endpoint;
+      // Secondary flows leaving this machine drain its PerfIso egress bucket.
+      SimPlatform* platform = &rig->platform();
+      fabric_->SetEgressBucketProvider(endpoint,
+                                       [platform] { return platform->egress_bucket(); });
+      index_nodes_.push_back(std::move(rig));
     }
   }
   tla_machines_.reserve(static_cast<size_t>(topo.tla_machines));
   for (int i = 0; i < topo.tla_machines; ++i) {
     tla_machines_.push_back(
         std::make_unique<SimMachine>(sim, options_.node.machine, "tla-" + std::to_string(i)));
+    fabric_->AttachMachine(tla_machines_.back()->name());
   }
   next_mla_in_row_.assign(static_cast<size_t>(topo.rows), 0);
-}
-
-SimDuration Cluster::Transit(int64_t bytes) const {
-  return options_.network.base_latency +
-         static_cast<SimDuration>(static_cast<double>(bytes) /
-                                  options_.network.bandwidth_bps * kSecond);
 }
 
 void Cluster::SubmitQuery(const QueryWork& work, IndexServer::QueryDoneFn done) {
@@ -62,8 +66,10 @@ void Cluster::SubmitQuery(const QueryWork& work, IndexServer::QueryDoneFn done) 
                      auto& cursor = next_mla_in_row_[static_cast<size_t>(pending->row)];
                      pending->mla_node = pending->row * cols + static_cast<int>(cursor);
                      cursor = (cursor + 1) % static_cast<size_t>(cols);
-                     sim_->ScheduleAfter(Transit(options_.network.request_bytes),
-                                         [this, pending] { RunMla(pending); });
+                     fabric_->Send(tla_endpoint(pending->tla_machine),
+                                   index_endpoint(pending->mla_node),
+                                   options_.fabric.request_bytes, NetClass::kPrimary,
+                                   [this, pending](SimTime) { RunMla(pending); });
                    });
 }
 
@@ -77,13 +83,11 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
     const int leaf_index = pending->row * cols + col;
     IndexNodeRig& leaf = *index_nodes_[static_cast<size_t>(leaf_index)];
     const bool local = leaf_index == pending->mla_node;
-    const SimDuration out = local ? 0 : Transit(options_.network.request_bytes);
 
-    sim_->ScheduleAfter(out, [this, pending, &leaf, &mla, local] {
-      leaf.server().SubmitQuery(pending->work, [this, pending, &mla,
+    auto run_leaf = [this, pending, &leaf, &mla, leaf_index, local] {
+      leaf.server().SubmitQuery(pending->work, [this, pending, &mla, leaf_index,
                                                 local](const QueryResult&) {
-        const SimDuration back = local ? 0 : Transit(options_.network.leaf_response_bytes);
-        sim_->ScheduleAfter(back, [this, pending, &mla] {
+        auto merge = [this, pending, &mla](SimTime) {
           // Merge work on the MLA machine for this leaf response.
           mla.machine().SpawnThread(
               "mla-merge", TenantClass::kPrimary, mla.server().job(),
@@ -96,8 +100,11 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
                     "mla-final", TenantClass::kPrimary, mla.server().job(),
                     FromMicros(options_.mla_finalize_cpu_us), [this, pending](SimTime now) {
                       mla_latency_ms_.Add(ToMillis(now - pending->mla_arrival));
-                      sim_->ScheduleAfter(
-                          Transit(options_.network.final_response_bytes), [this, pending] {
+                      fabric_->Send(
+                          index_endpoint(pending->mla_node),
+                          tla_endpoint(pending->tla_machine),
+                          options_.fabric.final_response_bytes, NetClass::kPrimary,
+                          [this, pending](SimTime) {
                             SimMachine* tla =
                                 tla_machines_[static_cast<size_t>(pending->tla_machine)].get();
                             tla->SpawnThread(
@@ -117,9 +124,25 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
                           });
                     });
               });
-        });
+        };
+        if (local) {
+          merge(sim_->Now());
+        } else {
+          // Leaf response travels back over the fabric (MLA fan-in: all
+          // columns' responses converge on the MLA's RX link — incast).
+          fabric_->Send(index_endpoint(leaf_index), index_endpoint(pending->mla_node),
+                        options_.fabric.leaf_response_bytes, NetClass::kPrimary,
+                        std::move(merge));
+        }
       });
-    });
+    };
+    if (local) {
+      run_leaf();
+    } else {
+      fabric_->Send(index_endpoint(pending->mla_node), index_endpoint(leaf_index),
+                    options_.fabric.request_bytes, NetClass::kPrimary,
+                    [run_leaf](SimTime) { run_leaf(); });
+    }
   }
 }
 
@@ -127,6 +150,15 @@ void Cluster::ForEachIndexNode(const std::function<void(IndexNodeRig&)>& fn) {
   for (auto& node : index_nodes_) {
     fn(*node);
   }
+}
+
+int64_t Cluster::SecondaryEgressBytes() const {
+  int64_t bytes = 0;
+  for (int i = 0; i < NumIndexNodes(); ++i) {
+    bytes += fabric_->netdev(i).tx().stats().bytes_serialized[static_cast<size_t>(
+        NetClass::kSecondary)];
+  }
+  return bytes;
 }
 
 LatencyRecorder Cluster::MergedLeafLatency() const {
@@ -155,6 +187,7 @@ void Cluster::ResetStats() {
   for (auto& node : index_nodes_) {
     node->server().ResetStats();
   }
+  fabric_->ResetStats();
 }
 
 std::vector<IndexNodeRig::UtilizationSnapshot> Cluster::SnapshotAll() const {

@@ -8,6 +8,12 @@
 // (including itself), aggregates the responses — the slowest leaf dictates
 // the response time [15] — and replies to the TLA.
 //
+// All inter-machine RPCs travel through a Fabric (src/net/): every machine
+// attaches with a priority NIC, racks share oversubscribed ToR uplinks, and
+// MLA fan-in serializes at the aggregator's RX link (genuine incast rather
+// than a closed-form constant). Secondary-class flows drain the per-machine
+// egress bucket, so PerfIso's egress cap has an end-to-end effect.
+//
 // Latency is measured at each layer as in Fig. 9: per-leaf (IndexServer
 // internal), per-MLA (arrival at MLA to reply), and per-TLA (end to end).
 #ifndef PERFISO_SRC_CLUSTER_CLUSTER_H_
@@ -18,18 +24,11 @@
 #include <vector>
 
 #include "src/cluster/index_node.h"
+#include "src/net/fabric.h"
 #include "src/util/stats.h"
 #include "src/workload/query_trace.h"
 
 namespace perfiso {
-
-struct NetworkSpec {
-  SimDuration base_latency = FromMicros(120);  // one-way, within the cluster
-  double bandwidth_bps = 10e9 / 8;             // 10 GbE
-  int64_t request_bytes = 2 * 1024;
-  int64_t leaf_response_bytes = 16 * 1024;
-  int64_t final_response_bytes = 32 * 1024;
-};
 
 struct ClusterTopology {
   int columns = 22;
@@ -39,7 +38,7 @@ struct ClusterTopology {
 
 struct ClusterOptions {
   ClusterTopology topology;
-  NetworkSpec network;
+  FabricConfig fabric;  // absorbs the old NetworkSpec (rates + RPC sizes)
   IndexNodeOptions node;
   // Aggregation CPU costs on MLA/TLA machines.
   double mla_merge_cpu_us = 40;    // per leaf response
@@ -61,6 +60,16 @@ class Cluster {
 
   int NumIndexNodes() const { return static_cast<int>(index_nodes_.size()); }
   IndexNodeRig& index_node(int i) { return *index_nodes_[static_cast<size_t>(i)]; }
+
+  // The network: index nodes attach first (endpoint i == index node i), TLA
+  // machines after.
+  Fabric& fabric() { return *fabric_; }
+  int index_endpoint(int i) const { return i; }
+  int tla_endpoint(int i) const { return NumIndexNodes() + i; }
+
+  // Secondary-class bytes serialized by index-machine NIC TX queues since the
+  // given fabric stats reset, summed — the cluster's secondary egress volume.
+  int64_t SecondaryEgressBytes() const;
 
   // --- Per-layer latency distributions (ms), as reported in Fig. 9 ----------
   // Merged across all leaves / MLAs / TLAs.
@@ -84,13 +93,12 @@ class Cluster {
  private:
   struct PendingQuery;
 
-  // Network transit time for a message of `bytes`.
-  SimDuration Transit(int64_t bytes) const;
   void RunMla(const std::shared_ptr<PendingQuery>& pending);
 
   Simulator* sim_;
   ClusterOptions options_;
   Rng rng_;
+  std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<IndexNodeRig>> index_nodes_;  // row-major [row][col]
   std::vector<std::unique_ptr<SimMachine>> tla_machines_;
   size_t next_tla_ = 0;

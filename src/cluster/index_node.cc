@@ -55,6 +55,14 @@ void IndexNodeRig::StartMlTraining(const MlTrainingJob::Options& options) {
   ml_training_->Start();
 }
 
+void IndexNodeRig::StartNetworkBully(Fabric* fabric, int endpoint,
+                                     const NetworkBully::Options& options) {
+  assert(network_bully_ == nullptr);
+  network_bully_ = std::make_unique<NetworkBully>(sim_, machine_.get(), fabric, endpoint,
+                                                  secondary_job_, options, rng_.Fork());
+  network_bully_->Start();
+}
+
 Status IndexNodeRig::StartPerfIso(const PerfIsoConfig& config) {
   assert(perfiso_ == nullptr);
   perfiso_ = std::make_unique<PerfIsoController>(platform_.get(), config);

@@ -44,6 +44,8 @@ class IndexNodeRig {
   void StartDiskBully(const DiskBully::Options& options);
   void StartHdfsClient(const HdfsClient::Options& options);
   void StartMlTraining(const MlTrainingJob::Options& options);
+  // `endpoint` is this machine's id on `fabric` (the Cluster hands both out).
+  void StartNetworkBully(Fabric* fabric, int endpoint, const NetworkBully::Options& options);
 
   // Attaches a PerfIso controller with `config` and starts its poll loops.
   Status StartPerfIso(const PerfIsoConfig& config);
@@ -60,6 +62,7 @@ class IndexNodeRig {
   CpuBully* cpu_bully() { return cpu_bully_.get(); }
   DiskBully* disk_bully() { return disk_bully_.get(); }
   MlTrainingJob* ml_training() { return ml_training_.get(); }
+  NetworkBully* network_bully() { return network_bully_.get(); }
 
   // Secondary progress in core-seconds (CPU time of the secondary job).
   double SecondaryProgress() const;
@@ -91,6 +94,7 @@ class IndexNodeRig {
   std::unique_ptr<DiskBully> disk_bully_;
   std::unique_ptr<HdfsClient> hdfs_client_;
   std::unique_ptr<MlTrainingJob> ml_training_;
+  std::unique_ptr<NetworkBully> network_bully_;
 };
 
 }  // namespace perfiso

@@ -1,0 +1,115 @@
+// Fabric: the cluster network connecting every machine's NetDev.
+//
+// Topology is the classic two-tier datacenter fabric: machines attach to a
+// top-of-rack switch in groups of `machines_per_rack`; each ToR connects to
+// the core over an uplink whose capacity is the rack's aggregate NIC rate
+// divided by `uplink_oversubscription` (an oversubscribed fabric, the normal
+// cost-saving design). A flow from A to B serializes at A's NIC TX (priority
+// queues + egress shaping), crosses the rack uplinks when A and B sit in
+// different racks, pays the propagation delay, serializes again at B's NIC RX
+// (FIFO — this is where MLA fan-in becomes genuine incast), and then fires
+// its completion callback. Replaces the old closed-form
+// `base_latency + bytes/bandwidth` NetworkSpec term in src/cluster/.
+#ifndef PERFISO_SRC_NET_FABRIC_H_
+#define PERFISO_SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/flow.h"
+#include "src/net/netdev.h"
+#include "src/sim/simulator.h"
+#include "src/util/stats.h"
+
+namespace perfiso {
+
+// Every tunable of the fabric (absorbs the old cluster NetworkSpec: the RPC
+// payload sizes ride along so cluster code has a single network config).
+struct FabricConfig {
+  double link_rate_bps = 10e9 / 8;       // 10 GbE per machine NIC, in bytes/s
+  double uplink_oversubscription = 4.0;  // rack NIC capacity / ToR uplink capacity
+  int machines_per_rack = 16;
+  SimDuration base_latency = FromMicros(120);  // one-way propagation + switching
+  int64_t chunk_bytes = 64 * 1024;             // serialization/preemption granularity
+  bool tx_priority = true;  // false: NIC TX degrades to FIFO (no priority classes)
+
+  // RPC payload sizes used by the cluster layers (formerly NetworkSpec).
+  int64_t request_bytes = 2 * 1024;
+  int64_t leaf_response_bytes = 16 * 1024;
+  int64_t final_response_bytes = 32 * 1024;
+};
+
+class Fabric {
+ public:
+  Fabric(Simulator* sim, const FabricConfig& config);
+
+  // Attaches one machine; returns its endpoint id (dense, starting at 0).
+  // Rack membership is by attach order: ids [k*R, (k+1)*R) share rack k.
+  int AttachMachine(const std::string& name);
+
+  // Installs the secondary egress shaper for an endpoint's NIC TX. The
+  // provider is consulted per chunk, so PerfIso can install/clear the cap at
+  // runtime through the platform's token bucket.
+  void SetEgressBucketProvider(int endpoint, Link::EgressBucketFn provider);
+
+  // Sends `bytes` from `src` to `dst` and fires `done` when the last byte
+  // arrives. src == dst delivers immediately (loopback skips the NIC).
+  void Send(int src, int dst, int64_t bytes, NetClass net_class, Flow::DeliveredFn done);
+
+  int num_endpoints() const { return static_cast<int>(endpoints_.size()); }
+  int num_racks() const { return static_cast<int>(racks_.size()); }
+  const FabricConfig& config() const { return config_; }
+  NetDev& netdev(int endpoint) { return *endpoints_[static_cast<size_t>(endpoint)]->dev; }
+  Link& rack_uplink(int rack) { return *racks_[static_cast<size_t>(rack)]->up; }
+  Link& rack_downlink(int rack) { return *racks_[static_cast<size_t>(rack)]->down; }
+
+  // --- Stats -----------------------------------------------------------------
+
+  struct EndpointStats {
+    int64_t bytes_sent[kNumNetClasses] = {0, 0};
+    int64_t bytes_received[kNumNetClasses] = {0, 0};
+    int64_t flows_sent[kNumNetClasses] = {0, 0};
+    int64_t flows_delivered[kNumNetClasses] = {0, 0};
+  };
+  const EndpointStats& endpoint_stats(int endpoint) const {
+    return endpoints_[static_cast<size_t>(endpoint)]->stats;
+  }
+  // Flow completion time (submit to last byte delivered), in milliseconds.
+  const LatencyRecorder& FlowLatencyMs(NetClass net_class) const {
+    return flow_latency_ms_[static_cast<size_t>(net_class)];
+  }
+  int64_t flows_in_flight() const { return flows_in_flight_; }
+  void ResetStats();
+
+ private:
+  struct Endpoint {
+    std::string name;
+    int rack = 0;
+    std::unique_ptr<NetDev> dev;
+    EndpointStats stats;
+  };
+  struct Rack {
+    std::unique_ptr<Link> up;    // rack -> core
+    std::unique_ptr<Link> down;  // core -> rack
+  };
+
+  void EnsureRack(int rack);
+  // Advances `flow` to hop `hop` of its path (0 = src TX, then uplinks, then
+  // propagation + dst RX); delivers and reclaims the flow after the last hop.
+  void RunHop(const std::shared_ptr<Flow>& flow, int hop);
+  void Deliver(const std::shared_ptr<Flow>& flow, SimTime now);
+
+  Simulator* sim_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<Rack>> racks_;
+  uint64_t next_flow_id_ = 1;
+  int64_t flows_in_flight_ = 0;
+  LatencyRecorder flow_latency_ms_[kNumNetClasses];
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_NET_FABRIC_H_

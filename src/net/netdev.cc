@@ -1,0 +1,125 @@
+#include "src/net/netdev.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace perfiso {
+
+const char* NetClassName(NetClass net_class) {
+  switch (net_class) {
+    case NetClass::kPrimary:
+      return "primary";
+    case NetClass::kSecondary:
+      return "secondary";
+  }
+  return "?";
+}
+
+Link::Link(Simulator* sim, double rate_bps, int64_t chunk_bytes, Discipline discipline,
+           std::string name)
+    : sim_(sim),
+      rate_bps_(rate_bps),
+      chunk_bytes_(chunk_bytes),
+      discipline_(discipline),
+      name_(std::move(name)) {
+  assert(rate_bps_ > 0);
+  assert(chunk_bytes_ > 0);
+}
+
+void Link::Enqueue(Flow* flow, FlowDoneFn done) {
+  assert(flow != nullptr);
+  assert(flow->bytes > 0);
+  flow->remaining_on_link = flow->bytes;
+  flow->arrival_seq = next_arrival_seq_++;
+  queued_bytes_ += flow->bytes;
+  stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, queued_bytes_);
+  const auto qi = static_cast<size_t>(flow->net_class);
+  queues_[qi].push_back(Entry{flow, std::move(done)});
+  Pump();
+}
+
+int Link::PickQueue() const {
+  const bool p = !queues_[0].empty();
+  const bool s = !queues_[1].empty();
+  if (!p && !s) {
+    return -1;
+  }
+  if (p && s && discipline_ == Discipline::kFifo) {
+    // Arrival order across classes; a partially-serialized flow keeps its
+    // original seq and therefore stays in front.
+    return queues_[0].front().flow->arrival_seq < queues_[1].front().flow->arrival_seq ? 0 : 1;
+  }
+  return p ? 0 : 1;  // strict priority (or only one queue occupied)
+}
+
+void Link::Pump() {
+  if (busy_) {
+    return;
+  }
+  const int queue = PickQueue();
+  if (queue < 0) {
+    return;
+  }
+  Flow* flow = queues_[static_cast<size_t>(queue)].front().flow;
+  int64_t chunk = std::min(chunk_bytes_, flow->remaining_on_link);
+  const SimTime now = sim_->Now();
+  // TX links shape secondary chunks through the machine's egress bucket.
+  // Tokens may become available before the wake fires (PerfIso can raise the
+  // cap), so re-pump on every enqueue as well.
+  if (queue == 1 && egress_bucket_) {
+    if (TokenBucket* bucket = egress_bucket_()) {
+      // A bucket whose burst is below the chunk size could never satisfy
+      // NextAvailable — serve smaller chunks rather than livelock.
+      chunk = std::max<int64_t>(1, std::min(chunk, static_cast<int64_t>(bucket->burst())));
+      const SimTime available = bucket->NextAvailable(static_cast<double>(chunk), now);
+      if (available > now) {
+        if (!retry_armed_) {
+          retry_armed_ = true;
+          sim_->Schedule(available, [this] {
+            retry_armed_ = false;
+            Pump();
+          });
+        }
+        return;
+      }
+      bucket->ForceConsume(static_cast<double>(chunk), now);
+    }
+  }
+  busy_ = true;
+  const auto tx_time = static_cast<SimDuration>(static_cast<double>(chunk) / rate_bps_ *
+                                                static_cast<double>(kSecond));
+  sim_->ScheduleAfter(tx_time, [this, queue, chunk] { OnChunkDone(queue, chunk); });
+}
+
+void Link::OnChunkDone(int queue, int64_t chunk) {
+  busy_ = false;
+  auto& q = queues_[static_cast<size_t>(queue)];
+  Entry& entry = q.front();
+  Flow* flow = entry.flow;
+  flow->remaining_on_link -= chunk;
+  queued_bytes_ -= chunk;
+  ++stats_.chunks;
+  stats_.bytes_serialized[queue] += chunk;
+  stats_.busy_ns += static_cast<SimDuration>(static_cast<double>(chunk) / rate_bps_ *
+                                             static_cast<double>(kSecond));
+  if (flow->remaining_on_link == 0) {
+    ++stats_.flows_completed[queue];
+    FlowDoneFn done = std::move(entry.done);
+    q.pop_front();
+    Pump();
+    if (done) {
+      done(flow, sim_->Now());
+    }
+    return;
+  }
+  Pump();
+}
+
+NetDev::NetDev(Simulator* sim, double link_rate_bps, int64_t chunk_bytes,
+               const std::string& name, bool priority_tx)
+    : tx_(sim, link_rate_bps, chunk_bytes,
+          priority_tx ? Link::Discipline::kStrictPriority : Link::Discipline::kFifo,
+          name + "-tx"),
+      rx_(sim, link_rate_bps, chunk_bytes, Link::Discipline::kFifo, name + "-rx") {}
+
+}  // namespace perfiso

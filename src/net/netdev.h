@@ -1,0 +1,125 @@
+// NetDev: one machine's NIC, modeled as a pair of serializing links.
+//
+// The TX side is what a host can actually control and is where PerfIso's
+// network isolation lives (§3.2): two strict-priority queues (primary
+// preempts secondary at chunk granularity, the qdisc analogue of marking
+// batch traffic low-priority) and an egress token bucket that secondary
+// chunks must drain before they reach the wire — the static egress cap. The
+// RX side is plain FIFO serialization at line rate: once traffic is on the
+// wire the fabric does not honor host priorities, which is exactly why the
+// egress cap is needed end to end (a network bully hurts its *victims'*
+// ingress, not its own egress).
+#ifndef PERFISO_SRC_NET_NETDEV_H_
+#define PERFISO_SRC_NET_NETDEV_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/net/flow.h"
+#include "src/sim/simulator.h"
+#include "src/util/stats.h"
+#include "src/util/token_bucket.h"
+
+namespace perfiso {
+
+// A store-and-forward serializing element: flows queue, the link transmits
+// one chunk at a time at `rate_bps`, and a flow's on_link_done fires when its
+// last chunk leaves. Chunking is what makes priority preemptive in practice —
+// a primary flow waits at most one secondary chunk, never a whole bulk block.
+class Link {
+ public:
+  enum class Discipline {
+    kStrictPriority,  // NIC TX: primary queue always served first
+    kFifo,            // switch ports / NIC RX: arrival order, class-blind
+  };
+
+  // Returns the current secondary egress bucket, or null when uncapped. A
+  // provider (rather than a raw pointer) lets PerfIso install/clear the cap
+  // at runtime; it is consulted before every secondary chunk.
+  using EgressBucketFn = std::function<TokenBucket*()>;
+  using FlowDoneFn = std::function<void(Flow*, SimTime)>;
+
+  Link(Simulator* sim, double rate_bps, int64_t chunk_bytes, Discipline discipline,
+       std::string name);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Installs the secondary shaper (TX links; independent of the discipline —
+  // on a FIFO TX link a token-starved secondary head blocks primary egress
+  // behind it, which is the point of having priority queues).
+  void SetEgressBucketProvider(EgressBucketFn provider) { egress_bucket_ = std::move(provider); }
+
+  // Enqueues `flow` for serialization; `done` fires once all of
+  // `flow->bytes` have left the link. The flow must outlive the call.
+  void Enqueue(Flow* flow, FlowDoneFn done);
+
+  double rate_bps() const { return rate_bps_; }
+  const std::string& name() const { return name_; }
+  int64_t QueuedBytes() const { return queued_bytes_; }
+
+  struct LinkStats {
+    int64_t bytes_serialized[kNumNetClasses] = {0, 0};
+    int64_t flows_completed[kNumNetClasses] = {0, 0};
+    int64_t chunks = 0;
+    // High-water mark of bytes waiting in the queues — the incast gauge.
+    int64_t max_queued_bytes = 0;
+    SimDuration busy_ns = 0;
+  };
+  const LinkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LinkStats{}; }
+
+ private:
+  struct Entry {
+    Flow* flow = nullptr;
+    FlowDoneFn done;
+  };
+
+  // Picks the queue to serve next per the discipline; -1 when both are empty.
+  int PickQueue() const;
+  void Pump();
+  void OnChunkDone(int queue, int64_t chunk);
+
+  Simulator* sim_;
+  double rate_bps_;
+  int64_t chunk_bytes_;
+  Discipline discipline_;
+  std::string name_;
+  EgressBucketFn egress_bucket_;
+  std::array<std::deque<Entry>, kNumNetClasses> queues_;
+  uint64_t next_arrival_seq_ = 0;
+  int64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  bool retry_armed_ = false;  // waiting on the egress bucket
+  LinkStats stats_;
+};
+
+// The two directions of one machine's NIC. `priority_tx` false degrades the
+// TX side to FIFO — the "no priority classes" ablation, where a blocked or
+// bulky secondary flow head-of-line-blocks the machine's own primary egress.
+class NetDev {
+ public:
+  NetDev(Simulator* sim, double link_rate_bps, int64_t chunk_bytes, const std::string& name,
+         bool priority_tx = true);
+
+  Link& tx() { return tx_; }
+  Link& rx() { return rx_; }
+  const Link& tx() const { return tx_; }
+  const Link& rx() const { return rx_; }
+
+  void SetEgressBucketProvider(Link::EgressBucketFn provider) {
+    tx_.SetEgressBucketProvider(std::move(provider));
+  }
+
+ private:
+  Link tx_;
+  Link rx_;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_NET_NETDEV_H_

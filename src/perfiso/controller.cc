@@ -63,7 +63,10 @@ Status PerfIsoController::RestoreDefaults() {
   PERFISO_RETURN_IF_ERROR(platform_->SetSecondaryAffinity(CpuSet::FirstN(platform_->NumCores())));
   PERFISO_RETURN_IF_ERROR(platform_->SetSecondaryCpuRateCap(0));
   if (config_.egress_rate_cap_bps > 0) {
-    PERFISO_RETURN_IF_ERROR(platform_->SetEgressRateCap(0));
+    Status egress = platform_->SetEgressRateCap(0);
+    if (!egress.ok()) {
+      PERFISO_LOG(kWarning) << "perfiso: egress cap not cleared: " << egress.ToString();
+    }
   }
   return OkStatus();
 }
@@ -82,7 +85,13 @@ Status PerfIsoController::SetActive(bool active) {
   }
   active_ = true;
   if (config_.egress_rate_cap_bps > 0) {
-    PERFISO_RETURN_IF_ERROR(platform_->SetEgressRateCap(config_.egress_rate_cap_bps));
+    // Like the static I/O limits above: platforms without an egress shaper
+    // (LinuxPlatform needs tc/HTB privileges) degrade to a logged warning
+    // instead of failing the whole controller bring-up.
+    Status egress = platform_->SetEgressRateCap(config_.egress_rate_cap_bps);
+    if (!egress.ok()) {
+      PERFISO_LOG(kWarning) << "perfiso: egress cap not applied: " << egress.ToString();
+    }
   }
   return ApplyCpuMode();
 }

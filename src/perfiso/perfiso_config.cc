@@ -79,6 +79,12 @@ ConfigMap PerfIsoConfig::ToConfigMap() const {
   map.SetInt("memory.min_free_bytes", min_free_memory_bytes);
   map.SetInt("memory.check_every_n_polls", memory_check_every_n_polls);
   map.SetDouble("net.egress_rate_cap_bps", egress_rate_cap_bps);
+  map.SetDouble("net.link_rate_bps", net.link_rate_bps);
+  map.SetDouble("net.uplink_oversubscription", net.uplink_oversubscription);
+  map.SetInt("net.machines_per_rack", net.machines_per_rack);
+  map.SetInt("net.base_latency_us", static_cast<int64_t>(ToMicros(net.base_latency)));
+  map.SetInt("net.chunk_bytes", net.chunk_bytes);
+  map.SetBool("net.tx_priority", net.tx_priority);
   map.SetInt("io.window_polls", io_window_polls);
   map.SetInt("io.poll_interval_us", static_cast<int64_t>(ToMicros(io_poll_interval)));
   for (const IoOwnerLimit& limit : io_limits) {
@@ -161,6 +167,32 @@ StatusOr<PerfIsoConfig> PerfIsoConfig::FromConfigMap(const ConfigMap& map) {
   PERFISO_RETURN_IF_ERROR(egress.status());
   config.egress_rate_cap_bps = *egress;
 
+  auto link_rate = map.GetDouble("net.link_rate_bps", config.net.link_rate_bps);
+  PERFISO_RETURN_IF_ERROR(link_rate.status());
+  config.net.link_rate_bps = *link_rate;
+
+  auto oversub =
+      map.GetDouble("net.uplink_oversubscription", config.net.uplink_oversubscription);
+  PERFISO_RETURN_IF_ERROR(oversub.status());
+  config.net.uplink_oversubscription = *oversub;
+
+  auto rack = map.GetInt("net.machines_per_rack", config.net.machines_per_rack);
+  PERFISO_RETURN_IF_ERROR(rack.status());
+  config.net.machines_per_rack = static_cast<int>(*rack);
+
+  auto base_us = map.GetInt("net.base_latency_us",
+                            static_cast<int64_t>(ToMicros(config.net.base_latency)));
+  PERFISO_RETURN_IF_ERROR(base_us.status());
+  config.net.base_latency = FromMicros(static_cast<double>(*base_us));
+
+  auto chunk = map.GetInt("net.chunk_bytes", config.net.chunk_bytes);
+  PERFISO_RETURN_IF_ERROR(chunk.status());
+  config.net.chunk_bytes = *chunk;
+
+  auto tx_priority = map.GetBool("net.tx_priority", config.net.tx_priority);
+  PERFISO_RETURN_IF_ERROR(tx_priority.status());
+  config.net.tx_priority = *tx_priority;
+
   auto window = map.GetInt("io.window_polls", config.io_window_polls);
   PERFISO_RETURN_IF_ERROR(window.status());
   config.io_window_polls = static_cast<int>(*window);
@@ -234,6 +266,18 @@ Status PerfIsoConfig::Validate(int num_cores) const {
   }
   if (io_window_polls <= 0) {
     return InvalidArgumentError("io_window_polls must be positive");
+  }
+  if (net.link_rate_bps <= 0) {
+    return InvalidArgumentError("net.link_rate_bps must be positive");
+  }
+  if (net.uplink_oversubscription < 1.0) {
+    return InvalidArgumentError("net.uplink_oversubscription must be >= 1");
+  }
+  if (net.machines_per_rack <= 0) {
+    return InvalidArgumentError("net.machines_per_rack must be positive");
+  }
+  if (net.chunk_bytes <= 0) {
+    return InvalidArgumentError("net.chunk_bytes must be positive");
   }
   return OkStatus();
 }

@@ -1,5 +1,6 @@
 #include "src/platform/sim_platform.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace perfiso {
@@ -72,7 +73,10 @@ Status SimPlatform::SetEgressRateCap(double bytes_per_sec) {
   if (bytes_per_sec <= 0) {
     egress_bucket_.reset();
   } else {
-    egress_bucket_.emplace(bytes_per_sec, bytes_per_sec / 4);
+    // Bound the burst so large caps cannot bank multi-second line-rate
+    // bursts: 250 ms of credit, at most 4 MB (a handful of bulk blocks).
+    const double burst = std::min(bytes_per_sec / 4, 4.0 * 1024 * 1024);
+    egress_bucket_.emplace(bytes_per_sec, burst);
   }
   return OkStatus();
 }

@@ -29,6 +29,7 @@ class TokenBucket {
 
   double AvailableAt(SimTime now);
   double rate_per_sec() const { return rate_per_sec_; }
+  double burst() const { return burst_; }
   void set_rate_per_sec(double rate);
 
  private:

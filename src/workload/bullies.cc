@@ -139,6 +139,62 @@ void HdfsClient::IssueReplicationIo() {
   io_->Submit(std::move(request));
 }
 
+NetworkBully::NetworkBully(Simulator* sim, SimMachine* machine, Fabric* fabric, int endpoint,
+                           JobId job, Options options, Rng rng)
+    : sim_(sim),
+      machine_(machine),
+      fabric_(fabric),
+      endpoint_(endpoint),
+      job_(job),
+      options_(options),
+      rng_(rng) {
+  assert(fabric_ != nullptr);
+  assert(!options_.peers.empty());
+}
+
+void NetworkBully::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  for (int i = 0; i < options_.streams; ++i) {
+    SendBlock();
+  }
+}
+
+void NetworkBully::Stop() { running_ = false; }
+
+void NetworkBully::SendBlock() {
+  if (!running_) {
+    return;
+  }
+  // Closed loop per stream: a pipeline-thread CPU burst, then the block on
+  // the wire, then the next block once the far end acknowledges delivery.
+  machine_->SpawnThread("net-bully-tx", TenantClass::kSecondary, job_,
+                        options_.cpu_per_block, [this](SimTime) {
+                          if (!running_) {  // Stop() raced the CPU burst
+                            return;
+                          }
+                          const auto pick = static_cast<size_t>(rng_.UniformInt(
+                              0, static_cast<int64_t>(options_.peers.size()) - 1));
+                          const int dst = options_.peers[pick];
+                          fabric_->Send(endpoint_, dst, options_.block_bytes,
+                                        NetClass::kSecondary, [this](SimTime) {
+                                          ++blocks_delivered_;
+                                          bytes_delivered_ += options_.block_bytes;
+                                          SendBlock();
+                                        });
+                        });
+}
+
+double NetworkBully::AchievedBps(SimTime since, SimTime now, int64_t bytes_then) const {
+  const double window_sec = ToSeconds(now - since);
+  if (window_sec <= 0) {
+    return 0;
+  }
+  return static_cast<double>(bytes_delivered_ - bytes_then) / window_sec;
+}
+
 MlTrainingJob::MlTrainingJob(Simulator* sim, SimMachine* machine, IoScheduler* io, JobId job,
                              Options options)
     : sim_(sim), machine_(machine), io_(io), job_(job), options_(options) {}

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/disk/io_scheduler.h"
+#include "src/net/fabric.h"
 #include "src/sim/machine.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
@@ -115,6 +116,47 @@ class HdfsClient {
   bool running_ = false;
   int64_t bytes_transferred_ = 0;
   std::unique_ptr<PeriodicTask> cpu_ticker_;
+};
+
+// HDFS-replication-style network bully: keeps `streams` block transfers in
+// flight to random peers, each preceded by a small CPU burst (the DataNode
+// pipeline thread). Flows are secondary-class, so they yield to primary
+// traffic in the local NIC's priority TX queues and drain the machine's
+// egress bucket when PerfIso caps it — but uncapped they pile into the
+// victims' FIFO RX links and the shared ToR uplinks, which is exactly how a
+// network bully destroys the cluster tail without touching its own CPU.
+class NetworkBully {
+ public:
+  struct Options {
+    int64_t block_bytes = 4 * 1024 * 1024;  // HDFS-style bulk blocks
+    int streams = 4;                        // concurrent outstanding blocks
+    SimDuration cpu_per_block = FromMicros(50);
+    std::vector<int> peers;  // destination fabric endpoints (may include self)
+  };
+
+  NetworkBully(Simulator* sim, SimMachine* machine, Fabric* fabric, int endpoint, JobId job,
+               Options options, Rng rng);
+
+  void Start();
+  void Stop();
+
+  int64_t blocks_delivered() const { return blocks_delivered_; }
+  int64_t bytes_delivered() const { return bytes_delivered_; }
+  double AchievedBps(SimTime since, SimTime now, int64_t bytes_then) const;
+
+ private:
+  void SendBlock();
+
+  Simulator* sim_;
+  SimMachine* machine_;
+  Fabric* fabric_;
+  int endpoint_;
+  JobId job_;
+  Options options_;
+  Rng rng_;
+  bool running_ = false;
+  int64_t blocks_delivered_ = 0;
+  int64_t bytes_delivered_ = 0;
 };
 
 // Batch ML training (Fig. 10's secondary): CPU-heavy epochs with periodic

@@ -119,6 +119,101 @@ TEST(ClusterTest, UtilizationAveragesAcrossMachines) {
   EXPECT_NEAR(cluster.MeanBusyFractionSince(snaps), 1.0 / 8, 0.05);
 }
 
+TEST(ClusterTest, RpcsTravelTheFabric) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  QueryWork work;
+  work.id = 1;
+  work.fanout = 5;
+  work.size_factor = 1;
+  work.seed = 42;
+  bool done = false;
+  cluster.SubmitQuery(work, [&](const QueryResult&) { done = true; });
+  sim.RunUntil(kSecond);
+  ASSERT_TRUE(done);
+  Fabric& fabric = cluster.fabric();
+  // 4 columns, 1 local leaf at the MLA: TLA->MLA request, 3 remote leaf
+  // requests, 3 leaf responses, 1 final response = 8 primary flows.
+  int64_t delivered = 0;
+  for (int i = 0; i < fabric.num_endpoints(); ++i) {
+    delivered += fabric.endpoint_stats(i).flows_delivered[0];
+  }
+  EXPECT_EQ(delivered, 8);
+  EXPECT_EQ(fabric.flows_in_flight(), 0);
+  // The MLA's RX link absorbed the leaf fan-in (3 responses + the request).
+  const auto& stats = cluster.TlaLatency();
+  EXPECT_EQ(stats.Count(), 1u);
+}
+
+TEST(ClusterTest, FabricRoutedLatencyWithinFig09ReferenceTolerance) {
+  // Fig. 9 guard for the fabric rewire: at production-like per-machine load
+  // the network layers add serialization + incast, but the cluster P99 must
+  // stay in the regime the closed-form model produced (the bench's reference
+  // tolerances are anchored to the paper's ~16 ms TLA P99 at this scale).
+  Simulator sim;
+  ClusterOptions options;
+  options.topology = ClusterTopology{4, 1, 2};
+  Cluster cluster(&sim, options);
+  cluster.ForEachIndexNode(
+      [&](IndexNodeRig& node) { node.StartHdfsClient(HdfsClient::Options{}); });
+  Rng rng(11);
+  auto trace = GenerateTrace(TraceSpec{}, 4000, &rng);
+  OpenLoopClient client(&sim, std::move(trace), 2000, Rng(12),
+                        [&](const QueryWork& work, SimTime) { cluster.SubmitQuery(work); });
+  client.Run(0, 2 * kSecond);
+  sim.RunUntil(3 * kSecond);
+  ASSERT_GT(cluster.queries_completed(), 3500);
+  // Pre-fabric this configuration measures ~13.6 ms TLA P99; the fabric may
+  // add at most the paper's ~1.2 ms cross-layer tolerance on top.
+  EXPECT_LT(cluster.TlaLatency().P99() - cluster.MergedLeafLatency().P99(), 10.0);
+  EXPECT_LT(cluster.TlaLatency().P99(), 15.0);
+  // Light RPC traffic: network transit stays in the sub-millisecond regime.
+  EXPECT_LT(cluster.fabric().FlowLatencyMs(NetClass::kPrimary).P99(), 1.0);
+}
+
+TEST(ClusterTest, EgressCapRestoresTailUnderNetworkBully) {
+  // Miniature of bench/fig_net_egress: an HDFS-replication-style bully on
+  // every index machine floods its peers' RX links; the static egress cap
+  // shapes it at the source and the tail recovers.
+  auto run = [](bool bully, double egress_cap) {
+    Simulator sim;
+    ClusterOptions options;
+    options.topology = ClusterTopology{4, 1, 1};
+    Cluster cluster(&sim, options);
+    if (bully) {
+      for (int i = 0; i < cluster.NumIndexNodes(); ++i) {
+        NetworkBully::Options net;
+        net.block_bytes = 1024 * 1024;
+        net.streams = 8;
+        for (int p = 0; p < cluster.NumIndexNodes(); ++p) {
+          if (p != i) {
+            net.peers.push_back(cluster.index_endpoint(p));
+          }
+        }
+        cluster.index_node(i).StartNetworkBully(&cluster.fabric(),
+                                                cluster.index_endpoint(i), net);
+        PerfIsoConfig config;
+        config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+        config.blind.buffer_cores = 8;
+        config.egress_rate_cap_bps = egress_cap;
+        EXPECT_TRUE(cluster.index_node(i).StartPerfIso(config).ok());
+      }
+    }
+    Rng rng(21);
+    auto trace = GenerateTrace(TraceSpec{}, 2000, &rng);
+    OpenLoopClient client(&sim, std::move(trace), 1000, Rng(22),
+                          [&](const QueryWork& work, SimTime) { cluster.SubmitQuery(work); });
+    client.Run(0, 2 * kSecond);
+    sim.RunUntil(3 * kSecond);
+    return cluster.TlaLatency().P99();
+  };
+  const double baseline = run(false, 0);
+  const double uncapped = run(true, 0);
+  const double capped = run(true, 50e6);
+  EXPECT_GT(uncapped, 1.5 * baseline);  // the bully hurts through the network
+  EXPECT_LT(capped, 1.25 * baseline);   // the egress cap restores the tail
+}
+
 TEST(ClusterTest, PerfIsoOnEveryNodeProtectsClusterTail) {
   // End-to-end miniature of Fig. 9b: bully + blind isolation on every node.
   auto run = [](bool bully) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "src/platform/linux_platform.h"
 #include "src/platform/sim_platform.h"
 #include "src/sim/machine.h"
 #include "src/sim/simulator.h"
@@ -194,6 +197,45 @@ TEST(PerfIsoControllerTest, RecoverRebuildsFromState) {
   EXPECT_EQ((*recovered)->config().static_secondary_cores, 12);
   rig.sim.RunUntil(FromMillis(10));
   EXPECT_EQ(rig.machine->IdleCount(), 36);
+}
+
+// A platform whose egress shaper is unavailable (LinuxPlatform without
+// tc/HTB privileges); everything else behaves normally.
+class NoEgressPlatform : public SimPlatform {
+ public:
+  using SimPlatform::SimPlatform;
+  Status SetEgressRateCap(double) override {
+    return UnimplementedError("egress shaping requires tc/HTB");
+  }
+};
+
+TEST(PerfIsoControllerTest, EgressCapUnimplementedDegradesToWarning) {
+  // Regression: a cluster config with an egress cap used to hard-fail
+  // Initialize() on LinuxPlatform (controller.cc propagated the
+  // UNIMPLEMENTED from linux_platform.cc). Like the other unimplemented
+  // Linux knobs it must degrade to a logged warning — CPU isolation still
+  // comes up, and the kill switch still restores defaults.
+  {
+    LinuxPlatform platform;
+    PerfIsoConfig config = BlindConfig(std::min(8, platform.NumCores() - 1));
+    config.egress_rate_cap_bps = 50e6;
+    PerfIsoController controller(&platform, config);
+    EXPECT_TRUE(controller.Initialize().ok());
+  }
+  {
+    Simulator sim;
+    MachineSpec spec;
+    SimMachine machine(&sim, spec, "m0");
+    NoEgressPlatform platform(&machine, nullptr);
+    JobId secondary = machine.CreateJob("secondary");
+    platform.AddSecondaryJob(secondary);
+    PerfIsoConfig config = BlindConfig(8);
+    config.egress_rate_cap_bps = 50e6;
+    PerfIsoController controller(&platform, config);
+    ASSERT_TRUE(controller.Initialize().ok());
+    // The kill switch must also survive the unimplemented egress-cap clear.
+    EXPECT_TRUE(controller.SetActive(false).ok());
+  }
 }
 
 TEST(PerfIsoControllerTest, SecondarySuspendedWhenPrimaryNeedsEverything) {
