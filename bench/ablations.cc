@@ -16,7 +16,7 @@ namespace {
 using namespace perfiso;
 using namespace perfiso::bench;
 
-SingleBoxResult RunBlind(const std::function<void(PerfIsoConfig&)>& tweak) {
+SingleBoxScenario BlindScenario(const std::function<void(PerfIsoConfig&)>& tweak) {
   SingleBoxScenario scenario;
   scenario.qps = 2000;
   scenario.cpu_bully_threads = 48;
@@ -25,7 +25,7 @@ SingleBoxResult RunBlind(const std::function<void(PerfIsoConfig&)>& tweak) {
   config.cpu_mode = CpuIsolationMode::kBlindIsolation;
   tweak(config);
   scenario.perfiso = config;
-  return RunSingleBox(scenario);
+  return scenario;
 }
 
 }  // namespace
@@ -35,40 +35,25 @@ int main() {
   PrintHeader("Design-choice ablations", "DESIGN.md §4",
               "buffer size, poll interval, step policy, placement, update policy");
 
+  // One parallel batch over every ablation row; sections print afterwards.
+  std::vector<SingleBoxScenario> scenarios;
   SingleBoxScenario base;
   base.qps = 2000;
   base.measure = 5 * kSecond;
-  const SingleBoxResult standalone = RunSingleBox(base);
-  RecordRow("standalone", standalone);
-  std::printf("standalone p99: %.2f ms\n\n", standalone.p99_ms);
+  scenarios.push_back(base);  // row 0: standalone
 
-  std::printf("--- 1. buffer cores (B) ---\n");
-  for (int buffer : {0, 2, 4, 8, 12, 16}) {
-    const auto r = RunBlind([&](PerfIsoConfig& c) { c.blind.buffer_cores = buffer; });
-    RecordRow("buffer_cores=" + std::to_string(buffer), r);
-    std::printf("  B=%-2d  p99 %+7.2f ms   secondary %5.1f%%   work %6.1f core-s\n", buffer,
-                r.p99_ms - standalone.p99_ms, r.secondary_util * 100, r.secondary_progress);
+  const int kBuffers[] = {0, 2, 4, 8, 12, 16};
+  for (int buffer : kBuffers) {
+    scenarios.push_back(BlindScenario([&](PerfIsoConfig& c) { c.blind.buffer_cores = buffer; }));
   }
-
-  std::printf("--- 2. poll interval ---\n");
-  for (double ms : {0.2, 1.0, 5.0, 20.0, 100.0}) {
-    const auto r = RunBlind([&](PerfIsoConfig& c) { c.poll_interval = FromMillis(ms); });
-    RecordRow("poll_interval_ms=" + std::to_string(ms), r);
-    std::printf("  poll=%-6.1fms  p99 %+7.2f ms   secondary %5.1f%%\n", ms,
-                r.p99_ms - standalone.p99_ms, r.secondary_util * 100);
+  const double kPollMs[] = {0.2, 1.0, 5.0, 20.0, 100.0};
+  for (double ms : kPollMs) {
+    scenarios.push_back(BlindScenario([&](PerfIsoConfig& c) { c.poll_interval = FromMillis(ms); }));
   }
-
-  std::printf("--- 3. step policy ---\n");
   for (bool proportional : {true, false}) {
-    const auto r =
-        RunBlind([&](PerfIsoConfig& c) { c.blind.proportional_step = proportional; });
-    RecordRow(proportional ? "step=proportional" : "step=unit", r);
-    std::printf("  %-13s p99 %+7.2f ms   secondary %5.1f%%\n",
-                proportional ? "proportional" : "unit-step", r.p99_ms - standalone.p99_ms,
-                r.secondary_util * 100);
+    scenarios.push_back(
+        BlindScenario([&](PerfIsoConfig& c) { c.blind.proportional_step = proportional; }));
   }
-
-  std::printf("--- 4. core placement ---\n");
   const struct {
     CorePlacement placement;
     const char* name;
@@ -76,7 +61,47 @@ int main() {
                      {CorePlacement::kPackLow, "pack_low"},
                      {CorePlacement::kSpread, "spread"}};
   for (const auto& p : kPlacements) {
-    const auto r = RunBlind([&](PerfIsoConfig& c) { c.blind.placement = p.placement; });
+    scenarios.push_back(BlindScenario([&](PerfIsoConfig& c) { c.blind.placement = p.placement; }));
+  }
+  scenarios.push_back(BlindScenario([](PerfIsoConfig&) {}));  // update=on_demand
+  scenarios.push_back(BlindScenario([](PerfIsoConfig& c) { c.blind.idle_deadband = 0; }));
+  scenarios.push_back(BlindScenario([](PerfIsoConfig& c) { c.blind.update_on_every_poll = true; }));
+
+  const std::vector<SingleBoxResult> results = RunScenarios(scenarios);
+
+  size_t row = 0;
+  const SingleBoxResult standalone = results[row++];
+  RecordRow("standalone", standalone);
+  std::printf("standalone p99: %.2f ms\n\n", standalone.p99_ms);
+
+  std::printf("--- 1. buffer cores (B) ---\n");
+  for (int buffer : kBuffers) {
+    const SingleBoxResult& r = results[row++];
+    RecordRow("buffer_cores=" + std::to_string(buffer), r);
+    std::printf("  B=%-2d  p99 %+7.2f ms   secondary %5.1f%%   work %6.1f core-s\n", buffer,
+                r.p99_ms - standalone.p99_ms, r.secondary_util * 100, r.secondary_progress);
+  }
+
+  std::printf("--- 2. poll interval ---\n");
+  for (double ms : kPollMs) {
+    const SingleBoxResult& r = results[row++];
+    RecordRow("poll_interval_ms=" + std::to_string(ms), r);
+    std::printf("  poll=%-6.1fms  p99 %+7.2f ms   secondary %5.1f%%\n", ms,
+                r.p99_ms - standalone.p99_ms, r.secondary_util * 100);
+  }
+
+  std::printf("--- 3. step policy ---\n");
+  for (bool proportional : {true, false}) {
+    const SingleBoxResult& r = results[row++];
+    RecordRow(proportional ? "step=proportional" : "step=unit", r);
+    std::printf("  %-13s p99 %+7.2f ms   secondary %5.1f%%\n",
+                proportional ? "proportional" : "unit-step", r.p99_ms - standalone.p99_ms,
+                r.secondary_util * 100);
+  }
+
+  std::printf("--- 4. core placement ---\n");
+  for (const auto& p : kPlacements) {
+    const SingleBoxResult& r = results[row++];
     RecordRow(std::string("placement=") + p.name, r);
     std::printf("  %-10s p99 %+7.2f ms   secondary %5.1f%%\n", p.name,
                 r.p99_ms - standalone.p99_ms, r.secondary_util * 100);
@@ -84,10 +109,9 @@ int main() {
 
   std::printf("--- 5. update policy ---\n");
   {
-    const auto on_demand = RunBlind([](PerfIsoConfig&) {});
-    const auto every_poll =
-        RunBlind([](PerfIsoConfig& c) { c.blind.update_on_every_poll = true; });
-    const auto no_deadband = RunBlind([](PerfIsoConfig& c) { c.blind.idle_deadband = 0; });
+    const SingleBoxResult& on_demand = results[row++];
+    const SingleBoxResult& no_deadband = results[row++];
+    const SingleBoxResult& every_poll = results[row++];
     RecordRow("update=on_demand", on_demand);
     RecordRow("update=no_deadband", no_deadband);
     RecordRow("update=every_poll", every_poll);

@@ -19,16 +19,15 @@ int main() {
               "at 2,000 QPS");
   PrintRowHeader();
 
-  // Standalone baselines for the degradation columns.
-  SingleBoxResult baseline[2];
+  // Standalone baselines (rows 0-1) + blind-isolation rows, all run in
+  // parallel; printed afterwards in input order.
   const double kRates[2] = {2000, 4000};
+  std::vector<SingleBoxScenario> scenarios;
   for (int i = 0; i < 2; ++i) {
     SingleBoxScenario scenario;
     scenario.qps = kRates[i];
-    baseline[i] = RunSingleBox(scenario);
-    PrintRow("standalone @" + std::to_string(static_cast<int>(kRates[i])), baseline[i]);
+    scenarios.push_back(scenario);
   }
-
   for (int buffer_cores : {4, 8}) {
     for (int i = 0; i < 2; ++i) {
       SingleBoxScenario scenario;
@@ -38,7 +37,19 @@ int main() {
       config.cpu_mode = CpuIsolationMode::kBlindIsolation;
       config.blind.buffer_cores = buffer_cores;
       scenario.perfiso = config;
-      const SingleBoxResult result = RunSingleBox(scenario);
+      scenarios.push_back(scenario);
+    }
+  }
+  const std::vector<SingleBoxResult> results = RunScenarios(scenarios);
+
+  const SingleBoxResult* baseline = results.data();  // rows 0-1
+  for (int i = 0; i < 2; ++i) {
+    PrintRow("standalone @" + std::to_string(static_cast<int>(kRates[i])), baseline[i]);
+  }
+  size_t row = 2;
+  for (int buffer_cores : {4, 8}) {
+    for (int i = 0; i < 2; ++i) {
+      const SingleBoxResult& result = results[row++];
       const std::string label = "blind B=" + std::to_string(buffer_cores) + " @" +
                                 std::to_string(static_cast<int>(kRates[i]));
       PrintRow(label, result);

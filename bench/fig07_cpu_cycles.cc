@@ -18,15 +18,13 @@ int main() {
               "(50% .. ~1%)");
   PrintRowHeader();
 
-  SingleBoxResult baseline[2];
   const double kRates[2] = {2000, 4000};
+  std::vector<SingleBoxScenario> scenarios;
   for (int i = 0; i < 2; ++i) {
     SingleBoxScenario scenario;
     scenario.qps = kRates[i];
-    baseline[i] = RunSingleBox(scenario);
-    PrintRow("standalone @" + std::to_string(static_cast<int>(kRates[i])), baseline[i]);
+    scenarios.push_back(scenario);
   }
-
   for (double cap : {0.45, 0.25, 0.05}) {
     for (int i = 0; i < 2; ++i) {
       SingleBoxScenario scenario;
@@ -36,7 +34,19 @@ int main() {
       config.cpu_mode = CpuIsolationMode::kCpuRateCap;
       config.cpu_rate_cap = cap;
       scenario.perfiso = config;
-      const SingleBoxResult result = RunSingleBox(scenario);
+      scenarios.push_back(scenario);
+    }
+  }
+  const std::vector<SingleBoxResult> results = RunScenarios(scenarios);
+
+  const SingleBoxResult* baseline = results.data();  // rows 0-1
+  for (int i = 0; i < 2; ++i) {
+    PrintRow("standalone @" + std::to_string(static_cast<int>(kRates[i])), baseline[i]);
+  }
+  size_t row = 2;
+  for (double cap : {0.45, 0.25, 0.05}) {
+    for (int i = 0; i < 2; ++i) {
+      const SingleBoxResult& result = results[row++];
       PrintRow("cycles " + std::to_string(static_cast<int>(cap * 100)) + "% @" +
                    std::to_string(static_cast<int>(kRates[i])),
                result);

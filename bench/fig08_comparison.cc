@@ -41,59 +41,63 @@ int main() {
   std::vector<Case> cases;
   const double kRates[2] = {2000, 4000};
 
-  {
-    Case c{"standalone", {}};
+  // All technique rows (5 cases x 2 rates) plus the "best static cores"
+  // progress rows (x 2) run as one parallel batch.
+  std::vector<SingleBoxScenario> scenarios;
+  cases.push_back(Case{"standalone", {}});
+  for (int i = 0; i < 2; ++i) {
     SingleBoxScenario scenario;
-    for (int i = 0; i < 2; ++i) {
-      scenario = SingleBoxScenario{};
-      scenario.qps = kRates[i];
-      c.result[i] = RunSingleBox(scenario);
-    }
-    cases.push_back(c);
+    scenario.qps = kRates[i];
+    scenarios.push_back(scenario);
   }
-  {
-    Case c{"no isolation", {}};
-    for (int i = 0; i < 2; ++i) {
-      c.result[i] = RunSingleBox(Base(kRates[i]));
-    }
-    cases.push_back(c);
+  cases.push_back(Case{"no isolation", {}});
+  for (int i = 0; i < 2; ++i) {
+    scenarios.push_back(Base(kRates[i]));
   }
-  {
-    Case c{"blind isolation (B=8)", {}};
-    for (int i = 0; i < 2; ++i) {
-      auto scenario = Base(kRates[i]);
-      PerfIsoConfig config;
-      config.cpu_mode = CpuIsolationMode::kBlindIsolation;
-      config.blind.buffer_cores = 8;
-      scenario.perfiso = config;
-      c.result[i] = RunSingleBox(scenario);
-    }
-    cases.push_back(c);
+  cases.push_back(Case{"blind isolation (B=8)", {}});
+  for (int i = 0; i < 2; ++i) {
+    auto scenario = Base(kRates[i]);
+    PerfIsoConfig config;
+    config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+    config.blind.buffer_cores = 8;
+    scenario.perfiso = config;
+    scenarios.push_back(scenario);
   }
-  {
-    Case c{"CPU cores (8 for secondary)", {}};
-    for (int i = 0; i < 2; ++i) {
-      auto scenario = Base(kRates[i]);
-      PerfIsoConfig config;
-      config.cpu_mode = CpuIsolationMode::kStaticCores;
-      config.static_secondary_cores = 8;
-      scenario.perfiso = config;
-      c.result[i] = RunSingleBox(scenario);
-    }
-    cases.push_back(c);
+  cases.push_back(Case{"CPU cores (8 for secondary)", {}});
+  for (int i = 0; i < 2; ++i) {
+    auto scenario = Base(kRates[i]);
+    PerfIsoConfig config;
+    config.cpu_mode = CpuIsolationMode::kStaticCores;
+    config.static_secondary_cores = 8;
+    scenario.perfiso = config;
+    scenarios.push_back(scenario);
   }
-  {
-    Case c{"CPU cycles (5%)", {}};
-    for (int i = 0; i < 2; ++i) {
-      auto scenario = Base(kRates[i]);
-      PerfIsoConfig config;
-      config.cpu_mode = CpuIsolationMode::kCpuRateCap;
-      config.cpu_rate_cap = 0.05;
-      scenario.perfiso = config;
-      c.result[i] = RunSingleBox(scenario);
-    }
-    cases.push_back(c);
+  cases.push_back(Case{"CPU cycles (5%)", {}});
+  for (int i = 0; i < 2; ++i) {
+    auto scenario = Base(kRates[i]);
+    PerfIsoConfig config;
+    config.cpu_mode = CpuIsolationMode::kCpuRateCap;
+    config.cpu_rate_cap = 0.05;
+    scenario.perfiso = config;
+    scenarios.push_back(scenario);
   }
+  // 8c / §6.1.4 "best" static-cores rows (24 cores at 2,000 QPS, 16 at 4,000).
+  const int kBestCores[2] = {24, 16};
+  for (int i = 0; i < 2; ++i) {
+    auto scenario = Base(kRates[i]);
+    PerfIsoConfig config;
+    config.cpu_mode = CpuIsolationMode::kStaticCores;
+    config.static_secondary_cores = kBestCores[i];
+    scenario.perfiso = config;
+    scenarios.push_back(scenario);
+  }
+
+  const std::vector<SingleBoxResult> results = RunScenarios(scenarios);
+  for (size_t c = 0; c < cases.size(); ++c) {
+    cases[c].result[0] = results[2 * c];
+    cases[c].result[1] = results[2 * c + 1];
+  }
+  SingleBoxResult cores_best[2] = {results[2 * cases.size()], results[2 * cases.size() + 1]};
 
   for (const Case& c : cases) {
     PrintRow(c.label + " @2000", c.result[0]);
@@ -106,18 +110,7 @@ int main() {
   // 8c / §6.1.4: secondary progress relative to unrestricted colocation. The
   // paper reports each technique "at the point where latency degradation was
   // lowest for that experiment" — for static cores that is the largest
-  // setting that still protects the SLO (24 cores at 2,000 QPS, 16 at 4,000).
-  SingleBoxResult cores_best[2];
-  const int kBestCores[2] = {24, 16};
-  for (int i = 0; i < 2; ++i) {
-    auto scenario = Base(kRates[i]);
-    PerfIsoConfig config;
-    config.cpu_mode = CpuIsolationMode::kStaticCores;
-    config.static_secondary_cores = kBestCores[i];
-    scenario.perfiso = config;
-    cores_best[i] = RunSingleBox(scenario);
-  }
-
+  // setting that still protects the SLO (the cores_best rows above).
   const double unrestricted[2] = {cases[1].result[0].secondary_progress,
                                   cases[1].result[1].secondary_progress};
   std::printf("%-34s %24s %24s\n", "secondary progress", "@2000 (frac of unrestr.)",

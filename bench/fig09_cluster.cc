@@ -144,11 +144,18 @@ int main() {
               "P99 increase vs standalone at most: CPU-bound 0.8/0.4/1.1 ms and disk-bound "
               "0.8/1.2/1.1 ms at IndexServe/MLA/TLA");
 
-  const ClusterResult standalone = RunCluster(Secondary::kNone);
+  // The three cluster scenarios are independent simulations; run them across
+  // hardware threads and print in input order.
+  const std::vector<ClusterResult> results = RunParallel<ClusterResult>({
+      [] { return RunCluster(Secondary::kNone); },
+      [] { return RunCluster(Secondary::kCpu); },
+      [] { return RunCluster(Secondary::kDisk); },
+  });
+  const ClusterResult& standalone = results[0];
+  const ClusterResult& cpu = results[1];
+  const ClusterResult& disk = results[2];
   PrintCluster("9a standalone (+HDFS)", standalone);
-  const ClusterResult cpu = RunCluster(Secondary::kCpu);
   PrintCluster("9b CPU-bound + PerfIso", cpu);
-  const ClusterResult disk = RunCluster(Secondary::kDisk);
   PrintCluster("9c disk-bound + PerfIso", disk);
 
   std::printf("\nP99 deltas vs standalone (ms):\n");

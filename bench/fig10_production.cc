@@ -25,68 +25,92 @@ int main() {
               "650-machine cluster, 1 hour: P99 at TLA stays flat while mean CPU "
               "utilization averages ~70%");
 
-  Simulator sim;
-  ClusterOptions options;
-  options.topology = ClusterTopology{6, 2, 4};
-  Cluster cluster(&sim, options);
-
-  cluster.ForEachIndexNode([&](IndexNodeRig& node) {
-    node.StartHdfsClient(HdfsClient::Options{});
-    MlTrainingJob::Options ml;
-    ml.worker_threads = 20;  // training parallelism does not scale to the whole box
-    node.StartMlTraining(ml);
-    PerfIsoConfig config;
-    config.cpu_mode = CpuIsolationMode::kBlindIsolation;
-    config.blind.buffer_cores = 8;
-    config.io_limits.push_back(
-        IoOwnerLimit{kIoOwnerMlTraining, 100e6, 0, /*priority=*/2, 1.0, 0});
-    Status status = node.StartPerfIso(config);
-    if (!status.ok()) {
-      std::abort();
-    }
-  });
-
-  Rng trace_rng(606);
-  auto trace = GenerateTrace(TraceSpec{}, 20000, &trace_rng);
-
+  // Unlike the scenario-grid benches, this is one continuous simulation
+  // (state carries across intervals), so it cannot fan out across threads;
+  // it keeps the runner's compute-then-report structure: all interval rows
+  // are computed first, then printed/recorded in order.
+  struct IntervalRow {
+    double row_qps = 0;
+    double tla_p99_ms = 0;
+    double busy = 0;
+    double ml_progress = 0;
+  };
   const int intervals = std::max(6, static_cast<int>(30 * BenchScale()));
   const SimDuration interval_len = 2 * kSecond;
+
+  auto run = [intervals, interval_len] {
+    std::vector<IntervalRow> rows;
+    Simulator sim;
+    ClusterOptions options;
+    options.topology = ClusterTopology{6, 2, 4};
+    Cluster cluster(&sim, options);
+
+    cluster.ForEachIndexNode([&](IndexNodeRig& node) {
+      node.StartHdfsClient(HdfsClient::Options{});
+      MlTrainingJob::Options ml;
+      ml.worker_threads = 20;  // training parallelism does not scale to the whole box
+      node.StartMlTraining(ml);
+      PerfIsoConfig config;
+      config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+      config.blind.buffer_cores = 8;
+      config.io_limits.push_back(
+          IoOwnerLimit{kIoOwnerMlTraining, 100e6, 0, /*priority=*/2, 1.0, 0});
+      Status status = node.StartPerfIso(config);
+      if (!status.ok()) {
+        std::abort();
+      }
+    });
+
+    Rng trace_rng(606);
+    auto trace = GenerateTrace(TraceSpec{}, 20000, &trace_rng);
+
+    Rng arrival_rng(17);
+    double prev_progress = 0;
+    for (int interval = 0; interval < intervals; ++interval) {
+      // Diurnal-style curve between ~55% and 100% of per-row peak (4,000 QPS
+      // per machine corresponds to peak; production runs below peak).
+      const double phase = static_cast<double>(interval) / intervals;  // one full cycle
+      const double row_qps = 2 * 2600.0 + 2 * 1200.0 * std::sin(phase * 2 * M_PI);
+      OpenLoopClient client(&sim, trace, row_qps, arrival_rng.Fork(),
+                            [&cluster](const QueryWork& work, SimTime) {
+                              cluster.SubmitQuery(work);
+                            });
+      cluster.ResetStats();
+      const auto snaps = cluster.SnapshotAll();
+      client.Run(sim.Now(), interval_len);
+      sim.RunUntil(sim.Now() + interval_len);
+
+      IntervalRow row;
+      row.row_qps = row_qps;
+      row.tla_p99_ms = cluster.TlaLatency().P99();
+      row.busy = cluster.MeanBusyFractionSince(snaps);
+      double progress = 0;
+      cluster.ForEachIndexNode([&](IndexNodeRig& node) {
+        progress += node.ml_training() != nullptr ? node.ml_training()->Progress() : 0;
+      });
+      row.ml_progress = progress - prev_progress;
+      prev_progress = progress;
+      rows.push_back(row);
+    }
+    return rows;
+  };
+  const std::vector<IntervalRow> rows = run();
+
   std::printf("%8s %10s %12s %12s %14s\n", "minute", "QPS/row", "TLA p99(ms)", "busy(%)",
               "ml-progress(s)");
-
   double total_busy = 0;
-  Rng arrival_rng(17);
-  double prev_progress = 0;
   for (int interval = 0; interval < intervals; ++interval) {
-    // Diurnal-style curve between ~55% and 100% of per-row peak (4,000 QPS
-    // per machine corresponds to peak; production runs below peak).
-    const double phase = static_cast<double>(interval) / intervals;  // one full cycle
-    const double row_qps = 2 * 2600.0 + 2 * 1200.0 * std::sin(phase * 2 * M_PI);
-    OpenLoopClient client(&sim, trace, row_qps, arrival_rng.Fork(),
-                          [&cluster](const QueryWork& work, SimTime) {
-                            cluster.SubmitQuery(work);
-                          });
-    cluster.ResetStats();
-    const auto snaps = cluster.SnapshotAll();
-    client.Run(sim.Now(), interval_len);
-    sim.RunUntil(sim.Now() + interval_len);
-
-    const double busy = cluster.MeanBusyFractionSince(snaps);
-    total_busy += busy;
-    double progress = 0;
-    cluster.ForEachIndexNode([&](IndexNodeRig& node) {
-      progress += node.ml_training() != nullptr ? node.ml_training()->Progress() : 0;
-    });
-    std::printf("%8d %10.0f %12.2f %11.1f%% %14.1f\n", 2 * interval, row_qps / 2,
-                cluster.TlaLatency().P99(), busy * 100, progress - prev_progress);
+    const IntervalRow& row = rows[static_cast<size_t>(interval)];
+    total_busy += row.busy;
+    std::printf("%8d %10.0f %12.2f %11.1f%% %14.1f\n", 2 * interval, row.row_qps / 2,
+                row.tla_p99_ms, row.busy * 100, row.ml_progress);
     ReportRow("minute=" + std::to_string(2 * interval),
               {
-                  {"qps_per_machine", row_qps / 2},
-                  {"tla_p99_ms", cluster.TlaLatency().P99()},
-                  {"busy", busy},
-                  {"ml_progress_core_s", progress - prev_progress},
+                  {"qps_per_machine", row.row_qps / 2},
+                  {"tla_p99_ms", row.tla_p99_ms},
+                  {"busy", row.busy},
+                  {"ml_progress_core_s", row.ml_progress},
               });
-    prev_progress = progress;
   }
   std::printf("\nmean CPU utilization over the run: %.1f%%   (paper: ~70%%)\n",
               100 * total_busy / intervals);

@@ -142,11 +142,18 @@ int main() {
               "uncapped network bully >= 2x TLA P99; egress cap restores the tail to within "
               "10% of baseline while the bully holds the cap");
 
-  const NetResult baseline = RunScenario(/*bully=*/false, /*egress_cap_bps=*/0);
+  // Independent cluster simulations; run across hardware threads, print in
+  // input order.
+  const std::vector<NetResult> results = RunParallel<NetResult>({
+      [] { return RunScenario(/*bully=*/false, /*egress_cap_bps=*/0); },
+      [] { return RunScenario(/*bully=*/true, /*egress_cap_bps=*/0); },
+      [] { return RunScenario(/*bully=*/true, kEgressCapBps); },
+  });
+  const NetResult& baseline = results[0];
+  const NetResult& uncapped = results[1];
+  const NetResult& capped = results[2];
   PrintNet("baseline (no net bully)", baseline);
-  const NetResult uncapped = RunScenario(/*bully=*/true, /*egress_cap_bps=*/0);
   PrintNet("net bully, uncapped", uncapped);
-  const NetResult capped = RunScenario(/*bully=*/true, kEgressCapBps);
   PrintNet("net bully + egress cap", capped);
 
   std::printf("\nTLA P99: baseline %.2f ms -> uncapped %.2f ms (%.1fx) -> capped %.2f ms "

@@ -126,6 +126,28 @@ double BenchScale() {
   return std::clamp(scale > 0 ? scale : 1.0, 0.05, 100.0);
 }
 
+int BenchThreads() {
+  // Read each call (not cached): determinism tests flip the variable at
+  // runtime to compare parallel and sequential executions.
+  const char* env = std::getenv("PERFISO_BENCH_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    const int threads = std::atoi(env);
+    if (threads > 0) {
+      return std::min(threads, 256);
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::vector<SingleBoxResult> RunScenarios(const std::vector<SingleBoxScenario>& scenarios) {
+  std::vector<std::function<SingleBoxResult()>> jobs;
+  jobs.reserve(scenarios.size());
+  for (const SingleBoxScenario& scenario : scenarios) {
+    jobs.emplace_back([scenario] { return RunSingleBox(scenario); });
+  }
+  return RunParallel(std::move(jobs));
+}
+
 SingleBoxResult RunSingleBox(const SingleBoxScenario& scenario) {
   Simulator sim;
   IndexNodeOptions node = scenario.node;

@@ -7,9 +7,12 @@
 #ifndef PERFISO_BENCH_HARNESS_H_
 #define PERFISO_BENCH_HARNESS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -53,6 +56,52 @@ struct SingleBoxResult {
 };
 
 SingleBoxResult RunSingleBox(const SingleBoxScenario& scenario);
+
+// --- Parallel scenario runner ------------------------------------------------
+//
+// Scenario rows are embarrassingly parallel: each owns a fully isolated
+// Simulator and seeds its RNGs deterministically, so a row's result is a pure
+// function of its inputs — running rows across hardware threads produces
+// bit-identical metrics to a sequential run (the determinism contract in
+// DESIGN.md). Jobs must not print or touch shared mutable state; compute in
+// the job, then print/record from the results vector in input order.
+
+// Worker count: PERFISO_BENCH_THREADS when set (1 = force sequential),
+// otherwise the hardware concurrency.
+int BenchThreads();
+
+// Runs every job (each returning a Result) and returns results in input
+// order, regardless of which worker ran which job.
+template <typename Result>
+std::vector<Result> RunParallel(std::vector<std::function<Result()>> jobs) {
+  std::vector<Result> results(jobs.size());
+  const int workers =
+      std::min<int>(BenchThreads(), static_cast<int>(jobs.size()));
+  if (workers <= 1) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = jobs[i]();
+    }
+    return results;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1)) {
+        results[i] = jobs[i]();
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return results;
+}
+
+// Runs single-box scenario rows in parallel (one isolated Simulator each);
+// results come back in input order.
+std::vector<SingleBoxResult> RunScenarios(const std::vector<SingleBoxScenario>& scenarios);
 
 // --- Machine-readable reports ------------------------------------------------
 //

@@ -48,6 +48,16 @@ void DiskDevice::Submit(IoRequest request) {
   TryStart();
 }
 
+size_t DiskDevice::AllocInflightSlot() {
+  if (!free_slots_.empty()) {
+    const size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  inflight_.emplace_back();
+  return inflight_.size() - 1;
+}
+
 void DiskDevice::TryStart() {
   while (active_ < spec_.concurrency && !queue_.empty()) {
     IoRequest request = std::move(queue_.front());
@@ -56,16 +66,46 @@ void DiskDevice::TryStart() {
     last_was_sequential_ = request.sequential;
     ++active_;
     busy_ns_ += service;
-    sim_->ScheduleAfter(service, [this, request = std::move(request)]() mutable {
+    const size_t slot = AllocInflightSlot();
+    const int64_t bytes = request.bytes;
+    inflight_[slot].started = sim_->Now();
+    inflight_[slot].service = service;
+    // Capture only what the completion needs (this + slot + bytes + the
+    // callback) so the event stays within the engine's inline budget; disk
+    // completions are the fattest hot-path event, so guard the budget at
+    // compile time rather than spilling silently.
+    auto completion = [this, slot, bytes, done = std::move(request.on_complete)] {
+      inflight_[slot] = InFlight{};
+      free_slots_.push_back(slot);
       --active_;
       ++completed_ops_;
-      completed_bytes_ += request.bytes;
-      if (request.on_complete) {
-        request.on_complete(sim_->Now());
+      completed_bytes_ += bytes;
+      if (done) {
+        done(sim_->Now());
       }
       TryStart();
-    });
+    };
+    static_assert(sizeof(completion) <= EventCallback::kInlineBytes,
+                  "disk completion events must stay inline in the event pool");
+    inflight_[slot].done_event = sim_->ScheduleAfter(service, std::move(completion));
   }
+}
+
+int DiskDevice::CancelAll() {
+  int dropped = static_cast<int>(queue_.size());
+  queue_.clear();
+  for (size_t slot = 0; slot < inflight_.size(); ++slot) {
+    if (sim_->Cancel(inflight_[slot].done_event)) {
+      // Roll back the unserved remainder of the charged service time.
+      busy_ns_ -= inflight_[slot].started + inflight_[slot].service - sim_->Now();
+      inflight_[slot] = InFlight{};
+      free_slots_.push_back(slot);
+      --active_;
+      ++dropped;
+    }
+  }
+  assert(active_ == 0);
+  return dropped;
 }
 
 StripedVolume::StripedVolume(Simulator* sim, const DiskSpec& spec, int num_drives,
@@ -96,6 +136,14 @@ void StripedVolume::Submit(IoRequest request) {
   };
   drives_[next_drive_]->Submit(std::move(request));
   next_drive_ = (next_drive_ + 1) % drives_.size();
+}
+
+int StripedVolume::CancelAll() {
+  int dropped = 0;
+  for (const auto& drive : drives_) {
+    dropped += drive->CancelAll();
+  }
+  return dropped;
 }
 
 size_t StripedVolume::TotalQueueDepth() const {

@@ -68,6 +68,12 @@ class DiskDevice {
   // Enqueues a request; it is serviced FIFO subject to device concurrency.
   void Submit(IoRequest request);
 
+  // Device-reset model (power loss / hot unplug, for failure-injection
+  // scenarios): drops every queued request and cancels every in-flight
+  // completion eagerly — no completion callback runs, and the cancelled
+  // events leave the simulator queue. Returns the number of dropped requests.
+  int CancelAll();
+
   size_t QueueDepth() const { return queue_.size() + static_cast<size_t>(active_); }
   int64_t CompletedOps() const { return completed_ops_; }
   int64_t CompletedBytes() const { return completed_bytes_; }
@@ -79,11 +85,23 @@ class DiskDevice {
 
  private:
   void TryStart();
+  size_t AllocInflightSlot();
 
   Simulator* sim_;
   DiskSpec spec_;
   std::string name_;
   std::deque<IoRequest> queue_;
+  // Requests inside the device: the completion event (so CancelAll can pull
+  // it out of the simulator queue) and the dispatch time + service charged to
+  // busy_ns_ up front (the unserved remainder is rolled back on cancel).
+  // Slots recycle via free_slots_.
+  struct InFlight {
+    EventHandle done_event;
+    SimTime started = 0;
+    SimDuration service = 0;
+  };
+  std::vector<InFlight> inflight_;
+  std::vector<size_t> free_slots_;
   int active_ = 0;
   int64_t completed_ops_ = 0;
   int64_t completed_bytes_ = 0;
@@ -98,6 +116,9 @@ class StripedVolume {
   StripedVolume(Simulator* sim, const DiskSpec& spec, int num_drives, std::string name);
 
   void Submit(IoRequest request);
+
+  // Resets every drive (see DiskDevice::CancelAll); returns dropped requests.
+  int CancelAll();
 
   int num_drives() const { return static_cast<int>(drives_.size()); }
   const std::string& name() const { return name_; }

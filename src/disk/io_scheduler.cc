@@ -243,14 +243,15 @@ void IoScheduler::Pump() {
   }
 
   // Everything dispatchable went out; if requests remain blocked purely on
-  // token buckets, wake up when the earliest becomes admissible.
-  if (earliest_retry != std::numeric_limits<SimTime>::max() && !retry_armed_ &&
+  // token buckets, wake up when the earliest becomes admissible. A cap change
+  // can move that point earlier, so the armed wake is rescheduled rather than
+  // left to fire late; when nothing is bucket-blocked, the stale wake leaves
+  // the queue eagerly.
+  if (earliest_retry != std::numeric_limits<SimTime>::max() &&
       outstanding_ < max_outstanding_) {
-    retry_armed_ = true;
-    sim_->Schedule(earliest_retry, [this] {
-      retry_armed_ = false;
-      Pump();
-    });
+    sim_->ScheduleOrTighten(retry_event_, earliest_retry, [this] { Pump(); });
+  } else {
+    sim_->Cancel(retry_event_);
   }
 }
 

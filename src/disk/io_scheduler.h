@@ -98,7 +98,10 @@ class IoScheduler {
   // Owner owed further service in the band (drain cut short by the
   // outstanding bound); -1 when none.
   std::array<int, kNumPriorities> resume_owner_ = {-1, -1, -1};
-  bool retry_armed_ = false;
+  // Pending token-bucket wake. Tightened earlier when a newly blocked
+  // request becomes admissible sooner; cancelled when nothing is blocked on
+  // buckets anymore.
+  EventHandle retry_event_;
   // Bytes of deficit granted per DWRR visit per unit weight.
   static constexpr double kQuantumBytes = 64 * 1024;
 };

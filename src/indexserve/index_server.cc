@@ -24,6 +24,11 @@ struct IndexServer::QueryState {
   int chunks_left = 0;
   std::vector<bool> chunk_done;
   std::vector<bool> chunk_hedged;
+  // Armed hedge timer per chunk; cancelled the moment the chunk completes
+  // (or the query reaches a terminal state), so hedge timers for fast
+  // lookups — the overwhelming majority — leave the event queue instead of
+  // firing as dead no-ops holding the query state alive.
+  std::vector<EventHandle> hedge_events;
   int snippet_reads_left = 0;
   bool finished = false;
 };
@@ -77,6 +82,7 @@ void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
   q->chunks_left = work.fanout;
   q->chunk_done.assign(static_cast<size_t>(work.fanout), false);
   q->chunk_hedged.assign(static_cast<size_t>(work.fanout), false);
+  q->hedge_events.assign(static_cast<size_t>(work.fanout), EventHandle{});
 
   // Network receive path runs in kernel context (OS tenant, outside the job).
   machine_->SpawnThread("is-recv", TenantClass::kOs, JobId{},
@@ -109,7 +115,15 @@ bool IndexServer::ExpireIfOverdue(const std::shared_ptr<QueryState>& q) {
   // Terminal state: release the completion callback (it may capture caller
   // state) so the query holds nothing beyond its own fields.
   q->done = nullptr;
+  CancelHedges(q);
   return true;
+}
+
+void IndexServer::CancelHedges(const std::shared_ptr<QueryState>& q) {
+  for (EventHandle& hedge : q->hedge_events) {
+    machine_->sim()->Cancel(hedge);
+    hedge = EventHandle{};
+  }
 }
 
 void IndexServer::StartParse(const std::shared_ptr<QueryState>& q) {
@@ -171,17 +185,18 @@ void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bo
   // hedge_delay, launch a duplicate lookup and take whichever finishes first.
   // The hedge budget caps the added load under systemic slowness.
   if (!is_hedge && config_.hedging_enabled) {
-    machine_->sim()->ScheduleAfter(config_.hedge_delay, [this, q, chunk] {
-      const bool budget_ok =
-          static_cast<double>(stats_.hedges_issued) <
-          config_.hedge_budget_fraction * static_cast<double>(chunks_started_);
-      if (!q->finished && !q->chunk_done[static_cast<size_t>(chunk)] &&
-          !q->chunk_hedged[static_cast<size_t>(chunk)] && budget_ok) {
-        q->chunk_hedged[static_cast<size_t>(chunk)] = true;
-        ++stats_.hedges_issued;
-        StartChunk(q, chunk, /*is_hedge=*/true);
-      }
-    });
+    q->hedge_events[static_cast<size_t>(chunk)] =
+        machine_->sim()->ScheduleAfter(config_.hedge_delay, [this, q, chunk] {
+          const bool budget_ok =
+              static_cast<double>(stats_.hedges_issued) <
+              config_.hedge_budget_fraction * static_cast<double>(chunks_started_);
+          if (!q->finished && !q->chunk_done[static_cast<size_t>(chunk)] &&
+              !q->chunk_hedged[static_cast<size_t>(chunk)] && budget_ok) {
+            q->chunk_hedged[static_cast<size_t>(chunk)] = true;
+            ++stats_.hedges_issued;
+            StartChunk(q, chunk, /*is_hedge=*/true);
+          }
+        });
   }
 }
 
@@ -190,6 +205,9 @@ void IndexServer::ChunkDone(const std::shared_ptr<QueryState>& q, int chunk) {
     return;  // expired, or the other copy of a hedged lookup already finished
   }
   q->chunk_done[static_cast<size_t>(chunk)] = true;
+  // The lookup beat its hedge timer (the common case): pull the timer out of
+  // the event queue instead of letting it fire as a dead no-op.
+  machine_->sim()->Cancel(q->hedge_events[static_cast<size_t>(chunk)]);
   if (--q->chunks_left == 0) {
     StartRank(q);
   }
@@ -267,6 +285,7 @@ void IndexServer::CompleteNow(const std::shared_ptr<QueryState>& q) {
   }
   q->finished = true;
   --inflight_;
+  CancelHedges(q);
   // Network send path (OS tenant).
   machine_->SpawnThread("is-send", TenantClass::kOs, JobId{},
                         ScaledUs(config_.send_cpu_us, 1.0), nullptr);

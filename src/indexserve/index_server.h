@@ -147,6 +147,9 @@ class IndexServer {
   // Abandons the query if it is past its deadline; returns true if the query
   // is no longer live (expired now or earlier).
   bool ExpireIfOverdue(const std::shared_ptr<QueryState>& q);
+  // Removes every still-armed hedge timer of a terminal query from the event
+  // queue (each timer holds a reference to the query state).
+  void CancelHedges(const std::shared_ptr<QueryState>& q);
   void StartParse(const std::shared_ptr<QueryState>& q);
   void StartFanout(const std::shared_ptr<QueryState>& q);
   void StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bool is_hedge);

@@ -73,18 +73,17 @@ void Link::Pump() {
       chunk = std::max<int64_t>(1, std::min(chunk, static_cast<int64_t>(bucket->burst())));
       const SimTime available = bucket->NextAvailable(static_cast<double>(chunk), now);
       if (available > now) {
-        if (!retry_armed_) {
-          retry_armed_ = true;
-          sim_->Schedule(available, [this] {
-            retry_armed_ = false;
-            Pump();
-          });
-        }
+        // Arm the wake, or pull an armed one earlier when PerfIso raised the
+        // cap (or the head shrank) and tokens are due sooner.
+        sim_->ScheduleOrTighten(retry_event_, available, [this] { Pump(); });
         return;
       }
       bucket->ForceConsume(static_cast<double>(chunk), now);
     }
   }
+  // A chunk is going out, and its completion re-pumps; a pending bucket wake
+  // is stale, so remove it from the queue eagerly.
+  sim_->Cancel(retry_event_);
   busy_ = true;
   const auto tx_time = static_cast<SimDuration>(static_cast<double>(chunk) / rate_bps_ *
                                                 static_cast<double>(kSecond));

@@ -94,7 +94,11 @@ class Link {
   uint64_t next_arrival_seq_ = 0;
   int64_t queued_bytes_ = 0;
   bool busy_ = false;
-  bool retry_armed_ = false;  // waiting on the egress bucket
+  // Pending wake for a token-starved secondary head. If a chunk starts first
+  // (priority traffic, or PerfIso raised the cap and a re-pump got through),
+  // the stale wake is cancelled instead of firing as a no-op; if tokens
+  // become due earlier, it is tightened in place.
+  EventHandle retry_event_;
   LinkStats stats_;
 };
 

@@ -70,7 +70,7 @@ Status SimMachine::SetJobAffinity(JobId job_id, const CpuSet& mask) {
     const CpuSet eff = EffectiveAffinity(t);
     if (t.state == Thread::State::kRunning && !eff.Test(t.core)) {
       ChargeRun(t);
-      ++t.gen;
+      sim_->Cancel(t.slice_event);
       ++metrics_.preemptions;
       NoteStopRunning(t);
       cores_[static_cast<size_t>(t.core)].running = -1;
@@ -116,9 +116,12 @@ Status SimMachine::SetJobCpuRateCap(JobId job_id, double fraction) {
   }
   Job& job = jobs_[static_cast<size_t>(job_id.value)];
   job.rate_cap = fraction;
-  if (fraction <= 0 && job.throttled) {
-    UnthrottleJob(job_id.value);
-  } else if (fraction > 0) {
+  if (fraction <= 0) {
+    sim_->Cancel(job.exhaust_event);  // uncapped: a pending budget check is moot
+    if (job.throttled) {
+      UnthrottleJob(job_id.value);
+    }
+  } else {
     // Threads may already be running (dispatched uncapped); arm the budget
     // check now so the cap takes effect within this accounting interval.
     ScheduleExhaustCheck(job_id.value);
@@ -138,6 +141,8 @@ Status SimMachine::KillJob(JobId job_id) {
   used_memory_bytes_ -= job.memory_bytes;
   job.memory_bytes = 0;
   job.live = false;
+  sim_->Cancel(job.exhaust_event);
+  sim_->Cancel(job.unthrottle_event);
   return OkStatus();
 }
 
@@ -249,7 +254,7 @@ Status SimMachine::SetThreadAffinity(ThreadId tid, const CpuSet& mask) {
   if (t.state == Thread::State::kRunning && !eff.Test(t.core)) {
     const int core = t.core;
     ChargeRun(t);
-    ++t.gen;
+    sim_->Cancel(t.slice_event);
     ++metrics_.preemptions;
     NoteStopRunning(t);
     cores_[static_cast<size_t>(core)].running = -1;
@@ -348,7 +353,7 @@ Status SimMachine::SetJobSuspended(JobId job_id, bool suspended) {
         continue;
       }
       ChargeRun(t);
-      ++t.gen;
+      sim_->Cancel(t.slice_event);
       ++metrics_.preemptions;
       NoteStopRunning(t);
       const int core = t.core;
@@ -407,6 +412,7 @@ SimDuration SimMachine::InflightWork(const Job& job) const {
 void SimMachine::ScheduleExhaustCheck(int job_id) {
   Job& job = jobs_[static_cast<size_t>(job_id)];
   if (!job.live || job.rate_cap <= 0 || job.throttled || job.running_count <= 0) {
+    sim_->Cancel(job.exhaust_event);  // a pending check (if any) is now moot
     return;
   }
   const SimDuration left = RateBudgetLeft(job) - InflightWork(job);
@@ -414,17 +420,13 @@ void SimMachine::ScheduleExhaustCheck(int job_id) {
     ThrottleJob(job_id);
     return;
   }
+  // A pending check that fires no later is kept (it recomputes); a later one
+  // is pulled earlier (consumption sped up).
   const SimTime when = sim_->Now() + left / job.running_count;
-  if (job.next_exhaust_check != 0 && job.next_exhaust_check <= when) {
-    return;  // an earlier (or equal) check is already pending and will recompute
-  }
-  job.next_exhaust_check = when;
-  sim_->Schedule(when, [this, job_id] { OnExhaustCheck(job_id); });
+  sim_->ScheduleOrTighten(job.exhaust_event, when, [this, job_id] { OnExhaustCheck(job_id); });
 }
 
 void SimMachine::OnExhaustCheck(int job_id) {
-  Job& job = jobs_[static_cast<size_t>(job_id)];
-  job.next_exhaust_check = 0;
   ScheduleExhaustCheck(job_id);  // recomputes: throttles now or re-arms later
 }
 
@@ -513,14 +515,12 @@ void SimMachine::Dispatch(int core, int tid, bool context_switch) {
   t.core = core;
   t.slice_start = sim_->Now();
   t.slice_overhead = overhead;
-  ++t.gen;
-  const uint64_t gen = t.gen;
   c.running = tid;
   idle_mask_.Clear(core);
   ++metrics_.dispatches;
 
-  sim_->Schedule(sim_->Now() + overhead + run_len,
-                 [this, core, tid, gen] { OnSliceEnd(core, tid, gen); });
+  t.slice_event = sim_->Schedule(sim_->Now() + overhead + run_len,
+                                 [this, core, tid] { OnSliceEnd(core, tid); });
   if (capped) {
     // May throttle the job immediately (preempting this thread again).
     ScheduleExhaustCheck(t.job);
@@ -576,11 +576,11 @@ SimDuration SimMachine::ChargeRun(Thread& t) {
   return work;
 }
 
-void SimMachine::OnSliceEnd(int core, int tid, uint64_t gen) {
+void SimMachine::OnSliceEnd(int core, int tid) {
+  // Preemption, kill, and re-dispatch cancel the slice event eagerly, so a
+  // stale slice end can never fire.
   Thread& t = threads_[static_cast<size_t>(tid)];
-  if (t.gen != gen || t.state != Thread::State::kRunning || t.core != core) {
-    return;  // stale event: the thread was preempted, killed, or re-dispatched
-  }
+  assert(t.state == Thread::State::kRunning && t.core == core);
   ChargeRun(t);
 
   if (!t.loop && t.remaining <= 0) {
@@ -606,7 +606,6 @@ void SimMachine::OnSliceEnd(int core, int tid, uint64_t gen) {
     }
   }
   if (waiter_exists) {
-    ++t.gen;
     ++metrics_.preemptions;
     NoteStopRunning(t);
     t.state = Thread::State::kReady;
@@ -706,6 +705,7 @@ void SimMachine::ThrottleJob(int job_id) {
     return;
   }
   job.throttled = true;
+  sim_->Cancel(job.exhaust_event);  // budget checks are moot while throttled
   std::vector<int> freed_cores;
   for (int tid : job.threads) {
     Thread& t = threads_[static_cast<size_t>(tid)];
@@ -713,7 +713,7 @@ void SimMachine::ThrottleJob(int job_id) {
       continue;
     }
     ChargeRun(t);
-    ++t.gen;
+    sim_->Cancel(t.slice_event);
     ++metrics_.preemptions;
     NoteStopRunning(t);
     const int core = t.core;
@@ -724,11 +724,10 @@ void SimMachine::ThrottleJob(int job_id) {
     t.ready_since = sim_->Now();
     cores_[static_cast<size_t>(core)].ready.push_back(tid);  // t.core stays
   }
-  if (!job.unthrottle_scheduled) {
-    job.unthrottle_scheduled = true;
+  if (!sim_->Pending(job.unthrottle_event)) {
     const SimTime boundary =
         (sim_->Now() / spec_.throttle_interval + 1) * spec_.throttle_interval;
-    sim_->Schedule(boundary, [this, job_id] { UnthrottleJob(job_id); });
+    job.unthrottle_event = sim_->Schedule(boundary, [this, job_id] { UnthrottleJob(job_id); });
   }
   for (int core : freed_cores) {
     if (cores_[static_cast<size_t>(core)].running < 0) {
@@ -741,7 +740,9 @@ void SimMachine::ThrottleJob(int job_id) {
 void SimMachine::UnthrottleJob(int job_id) {
   Job& job = jobs_[static_cast<size_t>(job_id)];
   job.throttled = false;
-  job.unthrottle_scheduled = false;
+  // When called directly (cap removed mid-interval), the armed end-of-interval
+  // unthrottle is stale; remove it instead of letting it fire as a no-op.
+  sim_->Cancel(job.unthrottle_event);
   if (!job.live) {
     return;
   }
@@ -774,7 +775,8 @@ void SimMachine::KickIdleCores(const CpuSet& mask) {
 
 void SimMachine::FinishThread(int tid, bool run_callback) {
   Thread& t = threads_[static_cast<size_t>(tid)];
-  ++t.gen;
+  sim_->Cancel(t.slice_event);  // no-op on the completion path (already fired)
+  t.slice_event = EventHandle();
   t.state = Thread::State::kFinished;
   if (t.job >= 0) {
     auto& siblings = jobs_[static_cast<size_t>(t.job)].threads;
@@ -804,6 +806,10 @@ Status SimMachine::CheckInvariants() const {
       if (t.state != Thread::State::kRunning || t.core != core) {
         return InternalError("running thread state mismatch on core " + std::to_string(core));
       }
+      if (!sim_->Pending(t.slice_event)) {
+        return InternalError("running thread on core " + std::to_string(core) +
+                             " has no pending slice event");
+      }
     }
     for (int tid : c.ready) {
       const Thread& t = threads_[static_cast<size_t>(tid)];
@@ -826,6 +832,10 @@ Status SimMachine::CheckInvariants() const {
       return InternalError("thread " + std::to_string(tid) + " appears in " +
                            std::to_string(queue_appearances[tid]) + " queues, expected " +
                            std::to_string(expected));
+    }
+    if (t.state != Thread::State::kRunning && sim_->Pending(t.slice_event)) {
+      return InternalError("non-running thread " + std::to_string(tid) +
+                           " still has a pending slice event");
     }
   }
   for (size_t job_id = 0; job_id < jobs_.size(); ++job_id) {

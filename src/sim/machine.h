@@ -195,7 +195,9 @@ class SimMachine {
     bool loop = false;  // unbounded work
     CpuSet affinity;    // thread-level mask (full by default)
     CompletionFn on_complete;
-    uint64_t gen = 0;      // invalidates in-flight slice events
+    // The pending end-of-slice event while kRunning. Preemption and kill
+    // cancel it eagerly, so a stale slice event never sits in the queue.
+    EventHandle slice_event;
     int core = -1;         // running core, or queued-on core when kReady in a queue
     bool queued = false;   // kReady and sitting in a core's ready queue
     SimTime ready_since = 0;
@@ -211,11 +213,14 @@ class SimMachine {
     double rate_cap = 0;  // <= 0: uncapped
     bool throttled = false;
     bool suspended = false;
-    bool unthrottle_scheduled = false;
     int64_t usage_interval = -1;  // interval index of `usage`
     SimDuration usage = 0;        // settled CPU consumed in `usage_interval`
     int running_count = 0;        // running threads (tracked for capped jobs)
-    SimTime next_exhaust_check = 0;  // earliest scheduled budget-exhaustion event
+    // The single pending budget-exhaustion check for a capped job; an earlier
+    // deadline tightens it in place instead of stacking a second event.
+    EventHandle exhaust_event;
+    // Pending end-of-interval unthrottle while `throttled`.
+    EventHandle unthrottle_event;
     SimDuration cpu_time = 0;
     int64_t memory_bytes = 0;
     std::vector<int> threads;  // live thread ids (unsorted)
@@ -233,7 +238,7 @@ class SimMachine {
   int AllocThreadSlot();
   void MakeReady(int tid);
   void Dispatch(int core, int tid, bool context_switch);
-  void OnSliceEnd(int core, int tid, uint64_t gen);
+  void OnSliceEnd(int core, int tid);
   void DispatchNext(int core);
   // Charges CPU consumed since slice start up to `now`; updates remaining,
   // tenant accounting, and job budget. Returns consumed work (without

@@ -1,33 +1,109 @@
 #include "src/sim/simulator.h"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
+
+#include "src/util/logging.h"
 
 namespace perfiso {
 
-void Simulator::Schedule(SimTime when, EventFn fn) {
-  if (when < now_) {
-    when = now_;
+Simulator::~Simulator() = default;
+
+SimTime Simulator::ClampToNow(SimTime when) {
+  if (when >= now_) {
+    return when;
   }
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  ++stats_.clamped_schedules;
+#ifndef NDEBUG
+  PERFISO_LOG(kDebug) << "Schedule at t=" << when << " is " << (now_ - when)
+                      << " ns in the past; clamped to Now()=" << now_;
+#endif
+  return now_;
+}
+
+uint32_t Simulator::AllocSlot() {
+  if (free_ids_.empty()) {
+    const auto base = static_cast<uint32_t>(slabs_.size()) << kSlabBits;
+    slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
+    ++stats_.slab_allocs;
+    free_ids_.reserve(kSlabSize);
+    // Push in descending order so slots hand out in ascending id order.
+    for (uint32_t i = kSlabSize; i > 0; --i) {
+      free_ids_.push_back(base + i - 1);
+    }
+  }
+  const uint32_t id = free_ids_.back();
+  free_ids_.pop_back();
+  return id;
+}
+
+void Simulator::FreeSlot(uint32_t id) { free_ids_.push_back(id); }
+
+Simulator::Event* Simulator::Lookup(EventHandle handle) {
+  return const_cast<Event*>(std::as_const(*this).Lookup(handle));
+}
+
+const Simulator::Event* Simulator::Lookup(EventHandle handle) const {
+  if (handle.id_ >= (static_cast<uint32_t>(slabs_.size()) << kSlabBits)) {
+    return nullptr;
+  }
+  const Event& e = Rec(handle.id_);
+  if (e.gen != handle.gen_ || e.heap_pos < 0) {
+    return nullptr;
+  }
+  return &e;
+}
+
+bool Simulator::Pending(EventHandle handle) const { return Lookup(handle) != nullptr; }
+
+bool Simulator::Cancel(EventHandle handle) {
+  Event* e = Lookup(handle);
+  if (e == nullptr) {
+    return false;
+  }
+  HeapRemoveAt(static_cast<size_t>(e->heap_pos));
+  e->heap_pos = -1;
+  ++e->gen;  // any copies of the handle go stale
+  e->cb.Reset();
+  FreeSlot(handle.id_);
+  ++stats_.events_cancelled;
+  return true;
+}
+
+bool Simulator::Reschedule(EventHandle handle, SimTime when) {
+  Event* e = Lookup(handle);
+  if (e == nullptr) {
+    return false;
+  }
+  HeapRemoveAt(static_cast<size_t>(e->heap_pos));
+  e->time = ClampToNow(when);
+  e->seq = next_seq_++;
+  HeapPush(handle.id_, e->time, e->seq);
+  return true;
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) {
+  if (heap_.empty()) {
     return false;
   }
-  // Move the callback out before popping so it can schedule new events.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  assert(event.time >= now_);
-  now_ = event.time;
-  ++events_executed_;
-  event.fn();
+  const uint32_t id = heap_.front().id;
+  Event& e = Rec(id);
+  assert(e.time >= now_);
+  now_ = e.time;
+  HeapRemoveAt(0);
+  e.heap_pos = -1;
+  ++e.gen;  // the handle is stale from the moment the callback runs
+  ++stats_.events_executed;
+  // The record's slab address is stable, so the callback may freely schedule
+  // (growing the pool) or cancel other events while it runs. Its own slot is
+  // recycled only after the callback finishes and is destroyed.
+  e.cb.Invoke();
+  e.cb.Reset();
+  FreeSlot(id);
   return true;
 }
 
 void Simulator::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().time <= until) {
+  while (!heap_.empty() && heap_.front().time <= until) {
     Step();
   }
   if (now_ < until) {
@@ -40,23 +116,89 @@ void Simulator::RunUntilEmpty() {
   }
 }
 
+// --- 4-ary heap --------------------------------------------------------------
+
+void Simulator::Place(size_t pos, const HeapItem& item) {
+  heap_[pos] = item;
+  Rec(item.id).heap_pos = static_cast<int32_t>(pos);
+}
+
+void Simulator::SiftUp(size_t pos) {
+  const HeapItem item = heap_[pos];
+  while (pos > 0) {
+    const size_t parent = (pos - 1) >> 2;
+    if (!Before(item, heap_[parent])) {
+      break;
+    }
+    Place(pos, heap_[parent]);
+    pos = parent;
+  }
+  Place(pos, item);
+}
+
+void Simulator::SiftDown(size_t pos) {
+  const HeapItem item = heap_[pos];
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t first = 4 * pos + 1;
+    if (first >= n) {
+      break;
+    }
+    size_t best = first;
+    const size_t last = std::min(first + 4, n);
+    for (size_t child = first + 1; child < last; ++child) {
+      if (Before(heap_[child], heap_[best])) {
+        best = child;
+      }
+    }
+    if (!Before(heap_[best], item)) {
+      break;
+    }
+    Place(pos, heap_[best]);
+    pos = best;
+  }
+  Place(pos, item);
+}
+
+void Simulator::HeapPush(uint32_t id, SimTime time, uint64_t seq) {
+  heap_.push_back(HeapItem{time, seq, id});
+  Rec(id).heap_pos = static_cast<int32_t>(heap_.size() - 1);
+  SiftUp(heap_.size() - 1);
+}
+
+void Simulator::HeapRemoveAt(size_t pos) {
+  assert(pos < heap_.size());
+  const size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  const HeapItem moved = heap_[last];
+  heap_.pop_back();
+  Place(pos, moved);
+  SiftDown(pos);
+  if (heap_[pos].id == moved.id) {
+    SiftUp(pos);  // did not move down; may need to move up
+  }
+}
+
+// --- PeriodicTask ------------------------------------------------------------
+
 PeriodicTask::PeriodicTask(Simulator* sim, SimTime start, SimDuration period, TickFn on_tick)
-    : sim_(sim), period_(period), on_tick_(std::move(on_tick)),
-      alive_(std::make_shared<bool>(true)) {
+    : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
   assert(period > 0);
   Arm(start);
 }
 
-void PeriodicTask::Cancel() { *alive_ = false; }
+void PeriodicTask::Cancel() {
+  cancelled_ = true;
+  sim_->Cancel(event_);  // no-op when called from inside the tick (already fired)
+}
 
 void PeriodicTask::Arm(SimTime when) {
-  std::shared_ptr<bool> alive = alive_;
-  sim_->Schedule(when, [this, alive] {
-    if (!*alive) {
-      return;
-    }
+  event_ = sim_->Schedule(when, [this] {
     on_tick_(sim_->Now());
-    if (*alive) {  // the tick may have cancelled us
+    if (!cancelled_) {  // the tick may have cancelled us
       Arm(sim_->Now() + period_);
     }
   });

@@ -1,37 +1,173 @@
 // Discrete-event simulation engine.
 //
-// A Simulator owns virtual time and a min-heap of events. Events scheduled at
-// the same timestamp fire in scheduling order (FIFO), which keeps runs
-// deterministic. All higher layers (machines, disks, networks, the PerfIso
-// controller) schedule plain callbacks here.
+// A Simulator owns virtual time and a 4-ary min-heap of pooled event records.
+// Events scheduled at the same timestamp fire in scheduling order (FIFO, via a
+// monotonically increasing sequence number), which keeps runs deterministic.
+// All higher layers (machines, disks, networks, the PerfIso controller)
+// schedule plain callbacks here.
+//
+// Engine design (see DESIGN.md §"Event engine"):
+//   * Event records live in fixed-size slabs and are recycled through a free
+//     list, so the steady-state Schedule/fire path performs no heap
+//     allocation. Callbacks are stored with a small-buffer optimization
+//     inside the record; callables larger than EventCallback::kInlineBytes
+//     fall back to one counted heap allocation.
+//   * Every Schedule returns an EventHandle (slot id + generation). Handles
+//     make cancellation first-class: Cancel() removes the event from the heap
+//     eagerly instead of letting it fire as a dead no-op, and Reschedule()
+//     moves it. A handle goes stale the moment its event fires, is cancelled,
+//     or is superseded; stale handles are safe to pass anywhere.
+//   * The heap is 4-ary and keyed by (time, seq); each record tracks its heap
+//     position so Cancel/Reschedule are O(log4 n) without scanning.
 #ifndef PERFISO_SRC_SIM_SIMULATOR_H_
 #define PERFISO_SRC_SIM_SIMULATOR_H_
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/util/sim_time.h"
 
 namespace perfiso {
 
+class Simulator;
+
+// Refers to one scheduled event: a pooled slot id plus the generation the
+// slot had when the event was scheduled. Default-constructed (and stale)
+// handles are inert: Cancel/Reschedule/Pending on them return false.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+ private:
+  friend class Simulator;
+  static constexpr uint32_t kInvalidId = 0xffffffffu;
+
+  EventHandle(uint32_t id, uint32_t gen) : id_(id), gen_(gen) {}
+
+  uint32_t id_ = kInvalidId;
+  uint32_t gen_ = 0;
+};
+
+// Move-less callback slot embedded in each pooled event record. Callables up
+// to kInlineBytes are constructed in place; larger ones take a single heap
+// allocation, counted in Simulator::Stats so benches can verify the hot-path
+// layers stay inline.
+class EventCallback {
+ public:
+  // Sized so a capture of [this, a shared_ptr, and a couple of words] — the
+  // largest shape the hot layers use — still fits inline.
+  static constexpr size_t kInlineBytes = 56;
+
+  EventCallback() = default;
+  ~EventCallback() { Reset(); }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  template <typename Fn>
+  void Emplace(Fn&& fn, uint64_t* heap_allocs) {
+    using Decayed = std::decay_t<Fn>;
+    static_assert(std::is_invocable_r_v<void, Decayed&>,
+                  "event callbacks must be invocable with no arguments");
+    assert(invoke_ == nullptr);
+    if constexpr (sizeof(Decayed) <= kInlineBytes &&
+                  alignof(Decayed) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(inline_buf_)) Decayed(std::forward<Fn>(fn));
+      destroy_ = [](void* p) { static_cast<Decayed*>(p)->~Decayed(); };
+    } else {
+      heap_ = new Decayed(std::forward<Fn>(fn));
+      destroy_ = [](void* p) { delete static_cast<Decayed*>(p); };
+      ++*heap_allocs;
+    }
+    invoke_ = [](void* p) { (*static_cast<Decayed*>(p))(); };
+  }
+
+  void Invoke() { invoke_(target()); }
+
+  void Reset() {
+    if (invoke_ != nullptr) {
+      destroy_(target());
+      invoke_ = nullptr;
+      destroy_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+  bool armed() const { return invoke_ != nullptr; }
+
+ private:
+  void* target() { return heap_ != nullptr ? heap_ : static_cast<void*>(inline_buf_); }
+
+  alignas(std::max_align_t) unsigned char inline_buf_[kInlineBytes];
+  void* heap_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
 class Simulator {
  public:
-  using EventFn = std::function<void()>;
-
   Simulator() = default;
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime Now() const { return now_; }
 
-  // Schedules `fn` at absolute time `when` (clamped to Now() if in the past).
-  void Schedule(SimTime when, EventFn fn);
+  // Schedules `fn` at absolute time `when` (clamped to Now() if in the past;
+  // clamps are counted in stats and logged in debug builds). Returns a handle
+  // that can cancel or move the event while it is still pending.
+  template <typename Fn>
+  EventHandle Schedule(SimTime when, Fn&& fn) {
+    const uint32_t id = AllocSlot();
+    Event& e = Rec(id);
+    e.time = ClampToNow(when);
+    e.seq = next_seq_++;
+    e.cb.Emplace(std::forward<Fn>(fn), &stats_.callback_heap_allocs);
+    HeapPush(id, e.time, e.seq);
+    ++stats_.events_scheduled;
+    return EventHandle(id, e.gen);
+  }
 
   // Schedules `fn` after a relative delay.
-  void ScheduleAfter(SimDuration delay, EventFn fn) { Schedule(now_ + delay, std::move(fn)); }
+  template <typename Fn>
+  EventHandle ScheduleAfter(SimDuration delay, Fn&& fn) {
+    return Schedule(now_ + delay, std::forward<Fn>(fn));
+  }
+
+  // Removes a pending event from the queue (its callback is destroyed, not
+  // run). Returns false — and does nothing — if the handle is stale: default
+  // constructed, already fired, already cancelled, or superseded.
+  bool Cancel(EventHandle handle);
+
+  // Moves a pending event to `when` (clamped like Schedule). The event keeps
+  // its callback and its handle but is ordered as a fresh scheduling decision
+  // among same-time events. Returns false on a stale handle.
+  bool Reschedule(EventHandle handle, SimTime when);
+
+  // The arm-or-tighten idiom shared by deadline timers (bucket-retry wakes,
+  // budget-exhaustion checks): if `handle` is stale, schedules `fn` at `when`
+  // and stores the new handle; if it is pending later than `when`, pulls it
+  // earlier. Never delays an armed event, and never stacks a second one.
+  template <typename Fn>
+  void ScheduleOrTighten(EventHandle& handle, SimTime when, Fn&& fn) {
+    if (const Event* e = Lookup(handle)) {
+      if (e->time > when) {
+        Reschedule(handle, when);
+      }
+      return;
+    }
+    handle = Schedule(when, std::forward<Fn>(fn));
+  }
+
+  // True while the event is still in the queue.
+  bool Pending(EventHandle handle) const;
 
   // Runs the earliest pending event. Returns false if none are pending.
   bool Step();
@@ -42,34 +178,84 @@ class Simulator {
   // Runs until no events remain. Use only with workloads that terminate.
   void RunUntilEmpty();
 
+  struct Stats {
+    uint64_t events_executed = 0;
+    uint64_t events_scheduled = 0;
+    uint64_t events_cancelled = 0;
+    // Schedule() calls whose timestamp was in the past and got clamped to
+    // Now(). Nonzero values point at a mis-scheduling layer.
+    uint64_t clamped_schedules = 0;
+    // Callbacks too large for the record's inline buffer (one heap
+    // allocation each). The hot layers should keep this at zero.
+    uint64_t callback_heap_allocs = 0;
+    // Event-pool slab allocations (pool growth; flat once warmed up).
+    uint64_t slab_allocs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
   // Number of events executed since construction.
-  uint64_t EventsExecuted() const { return events_executed_; }
-  size_t PendingEvents() const { return queue_.size(); }
+  uint64_t EventsExecuted() const { return stats_.events_executed; }
+  // Pending (live) events only: cancelled events leave the queue eagerly.
+  size_t PendingEvents() const { return heap_.size(); }
 
  private:
+  // 256 event records per slab. Slab storage is stable (records never move),
+  // so callbacks may safely schedule/cancel while one of them runs.
+  static constexpr uint32_t kSlabBits = 8;
+  static constexpr uint32_t kSlabSize = 1u << kSlabBits;
+
   struct Event {
+    SimTime time = 0;
+    uint64_t seq = 0;
+    uint32_t gen = 0;
+    int32_t heap_pos = -1;  // index into heap_, -1 when not queued
+    EventCallback cb;
+  };
+
+  struct HeapItem {
     SimTime time;
     uint64_t seq;
-    EventFn fn;
+    uint32_t id;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
+
+  static bool Before(const HeapItem& a, const HeapItem& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
     }
-  };
+    return a.seq < b.seq;
+  }
+
+  Event& Rec(uint32_t id) { return slabs_[id >> kSlabBits][id & (kSlabSize - 1)]; }
+  const Event& Rec(uint32_t id) const { return slabs_[id >> kSlabBits][id & (kSlabSize - 1)]; }
+
+  // Returns the record iff `handle` refers to a still-pending event.
+  Event* Lookup(EventHandle handle);
+  const Event* Lookup(EventHandle handle) const;
+
+  SimTime ClampToNow(SimTime when);
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t id);
+  void HeapPush(uint32_t id, SimTime time, uint64_t seq);
+  void HeapRemoveAt(size_t pos);
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  void Place(size_t pos, const HeapItem& item);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Stats stats_;
+  std::vector<HeapItem> heap_;
+  std::vector<std::unique_ptr<Event[]>> slabs_;
+  std::vector<uint32_t> free_ids_;
 };
 
 // A self-rescheduling task with cancellation, used for polling loops (the
 // PerfIso controller polls utilization "continuously in a tight loop", §4.1).
-// Destroying the handle (or calling Cancel) stops future firings.
+// Destroying the task (or calling Cancel) removes the armed event from the
+// queue eagerly. Two lifetime rules: the Simulator must outlive the task
+// (Cancel reaches into the queue, so declare tasks after — or owned by —
+// structures holding the Simulator), and a tick callback may call Cancel()
+// on its own task but must not destroy the task object from inside the tick.
 class PeriodicTask {
  public:
   using TickFn = std::function<void(SimTime)>;
@@ -82,7 +268,7 @@ class PeriodicTask {
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
   void Cancel();
-  bool cancelled() const { return !*alive_; }
+  bool cancelled() const { return cancelled_; }
   SimDuration period() const { return period_; }
 
  private:
@@ -91,7 +277,8 @@ class PeriodicTask {
   Simulator* sim_;
   SimDuration period_;
   TickFn on_tick_;
-  std::shared_ptr<bool> alive_;
+  EventHandle event_;
+  bool cancelled_ = false;
 };
 
 }  // namespace perfiso

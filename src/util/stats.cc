@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace perfiso {
 
@@ -10,6 +11,23 @@ void LatencyRecorder::Add(double sample) {
   samples_.push_back(sample);
   sum_ += sample;
   sorted_valid_ = false;
+}
+
+uint64_t LatencyRecorder::Digest() const {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  const auto mix = [&hash](uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xff;
+      hash *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  mix(samples_.size());
+  for (double sample : samples_) {
+    uint64_t bits;
+    std::memcpy(&bits, &sample, sizeof(bits));
+    mix(bits);
+  }
+  return hash;
 }
 
 void LatencyRecorder::Clear() {

@@ -35,6 +35,12 @@ class LatencyRecorder {
   double P95() const { return Percentile(95); }
   double P99() const { return Percentile(99); }
 
+  // Order-sensitive FNV-1a digest over the raw sample bit patterns: two
+  // recorders digest equal iff they saw the same samples in the same order.
+  // Used by the determinism tests to compare whole runs bit-exactly (the
+  // parallel bench runner's contract, DESIGN.md).
+  uint64_t Digest() const;
+
   const std::vector<double>& samples() const { return samples_; }
 
  private:

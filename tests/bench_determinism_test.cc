@@ -1,0 +1,150 @@
+// Determinism contract of the simulation + the parallel bench runner: a
+// scenario's result is a pure function of its inputs. The same scenario run
+// twice — or through RunScenarios() on worker threads — must produce
+// bit-identical metric rows, event counts, and latency-recorder digests.
+// fig09/fig10-style reference-tolerance checks only make sense on top of
+// this.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/cluster/cluster.h"
+#include "src/sim/simulator.h"
+#include "src/workload/query_trace.h"
+
+namespace perfiso {
+namespace {
+
+using bench::RunParallel;
+using bench::RunScenarios;
+using bench::RunSingleBox;
+using bench::SingleBoxResult;
+using bench::SingleBoxScenario;
+
+// Every metric compared with exact equality: these are doubles produced by
+// deterministic integer-time simulation, so reruns must match to the bit.
+void ExpectIdentical(const SingleBoxResult& a, const SingleBoxResult& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.p50_ms, b.p50_ms) << what;
+  EXPECT_EQ(a.p95_ms, b.p95_ms) << what;
+  EXPECT_EQ(a.p99_ms, b.p99_ms) << what;
+  EXPECT_EQ(a.mean_ms, b.mean_ms) << what;
+  EXPECT_EQ(a.drop_fraction, b.drop_fraction) << what;
+  EXPECT_EQ(a.primary_util, b.primary_util) << what;
+  EXPECT_EQ(a.secondary_util, b.secondary_util) << what;
+  EXPECT_EQ(a.os_util, b.os_util) << what;
+  EXPECT_EQ(a.idle_fraction, b.idle_fraction) << what;
+  EXPECT_EQ(a.secondary_progress, b.secondary_progress) << what;
+  EXPECT_EQ(a.hedges, b.hedges) << what;
+  EXPECT_EQ(a.queries, b.queries) << what;
+}
+
+SingleBoxScenario Fig04Style(double qps, int bully_threads) {
+  SingleBoxScenario scenario;
+  scenario.qps = qps;
+  scenario.cpu_bully_threads = bully_threads;
+  scenario.measure = kSecond;  // keep the test quick; shape matches fig04
+  return scenario;
+}
+
+TEST(BenchDeterminismTest, Fig04StyleScenarioIsBitIdenticalAcrossRuns) {
+  const SingleBoxScenario scenario = Fig04Style(2000, 24);
+  const SingleBoxResult first = RunSingleBox(scenario);
+  const SingleBoxResult second = RunSingleBox(scenario);
+  ExpectIdentical(first, second, "sequential rerun");
+}
+
+TEST(BenchDeterminismTest, ParallelRunnerMatchesSequentialBitExactly) {
+  std::vector<SingleBoxScenario> scenarios = {
+      Fig04Style(2000, 0),
+      Fig04Style(2000, 24),
+      Fig04Style(4000, 48),
+  };
+
+  // Force real worker threads even on single-core CI, then a sequential pass.
+  ASSERT_EQ(setenv("PERFISO_BENCH_THREADS", "4", 1), 0);
+  const std::vector<SingleBoxResult> parallel = RunScenarios(scenarios);
+  ASSERT_EQ(setenv("PERFISO_BENCH_THREADS", "1", 1), 0);
+  const std::vector<SingleBoxResult> sequential = RunScenarios(scenarios);
+  ASSERT_EQ(unsetenv("PERFISO_BENCH_THREADS"), 0);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    ExpectIdentical(parallel[i], sequential[i], "row " + std::to_string(i));
+  }
+}
+
+struct ClusterDigest {
+  uint64_t events = 0;
+  uint64_t leaf = 0;
+  uint64_t mla = 0;
+  uint64_t tla = 0;
+  int64_t completed = 0;
+
+  bool operator==(const ClusterDigest&) const = default;
+};
+
+// A miniature fig09: a cluster with HDFS + CPU bully + PerfIso per node,
+// digested down to event counts and latency-recorder digests.
+ClusterDigest RunFig09Style() {
+  Simulator sim;
+  ClusterOptions options;
+  options.topology = ClusterTopology{2, 1, 2};
+  Cluster cluster(&sim, options);
+  cluster.ForEachIndexNode([&](IndexNodeRig& node) {
+    node.StartHdfsClient(HdfsClient::Options{});
+    node.StartCpuBully(48);
+    PerfIsoConfig config;
+    config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+    config.blind.buffer_cores = 8;
+    Status status = node.StartPerfIso(config);
+    if (!status.ok()) {
+      ADD_FAILURE() << status.ToString();
+    }
+  });
+
+  Rng trace_rng(4242);
+  auto trace = GenerateTrace(TraceSpec{}, 2000, &trace_rng);
+  OpenLoopClient client(&sim, std::move(trace), /*qps=*/800, Rng(9),
+                        [&cluster](const QueryWork& work, SimTime) {
+                          cluster.SubmitQuery(work);
+                        });
+  client.Run(0, 2 * kSecond);
+  sim.RunUntil(2 * kSecond);
+
+  ClusterDigest digest;
+  digest.events = sim.EventsExecuted();
+  digest.leaf = cluster.MergedLeafLatency().Digest();
+  digest.mla = cluster.MlaLatency().Digest();
+  digest.tla = cluster.TlaLatency().Digest();
+  digest.completed = cluster.queries_completed();
+  return digest;
+}
+
+TEST(BenchDeterminismTest, Fig09StyleClusterDigestsAreIdentical) {
+  const ClusterDigest first = RunFig09Style();
+  const ClusterDigest second = RunFig09Style();
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.leaf, second.leaf);
+  EXPECT_EQ(first.mla, second.mla);
+  EXPECT_EQ(first.tla, second.tla);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_GT(first.completed, 0);
+
+  // The cluster digest must also be stable when computed on worker threads
+  // next to another simulation (no hidden shared state between Simulators).
+  ASSERT_EQ(setenv("PERFISO_BENCH_THREADS", "2", 1), 0);
+  const std::vector<ClusterDigest> parallel = RunParallel<ClusterDigest>({
+      [] { return RunFig09Style(); },
+      [] { return RunFig09Style(); },
+  });
+  ASSERT_EQ(unsetenv("PERFISO_BENCH_THREADS"), 0);
+  EXPECT_EQ(parallel[0], first);
+  EXPECT_EQ(parallel[1], first);
+}
+
+}  // namespace
+}  // namespace perfiso

@@ -71,6 +71,61 @@ TEST(DiskDeviceTest, ConcurrencyLimitQueues) {
   EXPECT_EQ(completions[2], 2 * completions[0]);
 }
 
+// Device-reset model on handle-based completions: cancelled in-flight I/O
+// leaves the simulator queue eagerly (no dead completion events), callbacks
+// never run, and the device keeps working afterwards.
+TEST(DiskDeviceTest, CancelAllDropsInflightAndQueuedRequests) {
+  Simulator sim;
+  DiskSpec spec = DiskSpec::Ssd();
+  spec.concurrency = 2;
+  DiskDevice device(&sim, spec, "d0");
+
+  int completions = 0;
+  for (int i = 0; i < 5; ++i) {  // 2 in flight + 3 queued
+    IoRequest request;
+    request.bytes = 4096;
+    request.on_complete = [&completions](SimTime) { ++completions; };
+    device.Submit(std::move(request));
+  }
+  ASSERT_EQ(device.QueueDepth(), 5u);
+  ASSERT_EQ(sim.PendingEvents(), 2u);  // one completion event per in-flight op
+
+  EXPECT_EQ(device.CancelAll(), 5);
+  EXPECT_EQ(sim.PendingEvents(), 0u);  // completions left the queue eagerly
+  EXPECT_EQ(device.QueueDepth(), 0u);
+  // Nothing was served (cancelled at the dispatch instant), so the service
+  // time charged up front must be rolled back in full.
+  EXPECT_EQ(device.BusyTime(), 0);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(device.CompletedOps(), 0);
+
+  // The device still serves new work after the reset.
+  IoRequest after;
+  after.bytes = 4096;
+  after.on_complete = [&completions](SimTime) { ++completions; };
+  device.Submit(std::move(after));
+  sim.RunUntilEmpty();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(device.CompletedOps(), 1);
+}
+
+TEST(StripedVolumeTest, CancelAllResetsEveryDrive) {
+  Simulator sim;
+  StripedVolume volume(&sim, DiskSpec::Hdd(), 4, "hdd");
+  int completions = 0;
+  for (int i = 0; i < 8; ++i) {
+    IoRequest request;
+    request.bytes = 4096;
+    request.on_complete = [&completions](SimTime) { ++completions; };
+    volume.Submit(std::move(request));
+  }
+  EXPECT_EQ(volume.CancelAll(), 8);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(volume.TotalQueueDepth(), 0u);
+}
+
 TEST(DiskDeviceTest, HddSlowerThanSsdForRandomReads) {
   Simulator sim;
   DiskDevice ssd(&sim, DiskSpec::Ssd(), "ssd");

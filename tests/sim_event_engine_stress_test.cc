@@ -1,0 +1,161 @@
+// Randomized stress for the pooled event engine: interleaves Schedule /
+// Cancel / Reschedule / Step against a trivially correct reference model (a
+// sorted (time, seq) map) and checks that firing order, pending counts, and
+// handle staleness agree exactly. A second battery churns a SimMachine on top
+// of the engine and asserts CheckInvariants() throughout — the machine is the
+// engine's most demanding consumer (slice preemption cancels, rate-cap
+// reschedules).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/sim/machine.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace perfiso {
+namespace {
+
+class EngineVsReferenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineVsReferenceTest, RandomOpsMatchReferenceModel) {
+  Simulator sim;
+  Rng rng(GetParam());
+
+  // Reference model: fire order is ascending (time, seq); a Reschedule gets a
+  // fresh seq, exactly like the engine's contract.
+  struct RefEvent {
+    int id;
+  };
+  std::map<std::pair<SimTime, uint64_t>, RefEvent> reference;
+  uint64_t ref_seq = 0;
+
+  struct LiveEvent {
+    EventHandle handle;
+    std::pair<SimTime, uint64_t> ref_key;
+  };
+  std::vector<LiveEvent> live;
+  std::vector<int> engine_fired;  // filled by engine callbacks
+  std::vector<int> reference_fired;
+  int next_id = 0;
+
+  const auto fire_reference_until = [&](SimTime until) {
+    while (!reference.empty() && reference.begin()->first.first <= until) {
+      reference_fired.push_back(reference.begin()->second.id);
+      reference.erase(reference.begin());
+    }
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 9));
+    if (op <= 4 || live.empty()) {  // schedule
+      const SimTime when = sim.Now() + rng.UniformInt(0, 500);
+      const int id = next_id++;
+      const EventHandle handle = sim.Schedule(when, [&engine_fired, id] {
+        engine_fired.push_back(id);
+      });
+      const auto key = std::make_pair(when, ref_seq++);
+      reference.emplace(key, RefEvent{id});
+      live.push_back(LiveEvent{handle, key});
+    } else if (op <= 6) {  // cancel a random live event
+      const size_t pick =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      const LiveEvent victim = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      EXPECT_TRUE(sim.Cancel(victim.handle));
+      EXPECT_FALSE(sim.Cancel(victim.handle));  // second cancel is a stale no-op
+      ASSERT_EQ(reference.erase(victim.ref_key), 1u);
+    } else if (op == 7) {  // reschedule a random live event
+      const size_t pick =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      LiveEvent& victim = live[pick];
+      const SimTime when = sim.Now() + rng.UniformInt(0, 500);
+      EXPECT_TRUE(sim.Reschedule(victim.handle, when));
+      const RefEvent ref = reference.at(victim.ref_key);
+      reference.erase(victim.ref_key);
+      victim.ref_key = std::make_pair(when, ref_seq++);
+      reference.emplace(victim.ref_key, ref);
+    } else {  // advance time, firing everything due
+      const SimTime until = sim.Now() + rng.UniformInt(0, 300);
+      sim.RunUntil(until);
+      fire_reference_until(until);
+      std::erase_if(live, [&](const LiveEvent& e) { return !sim.Pending(e.handle); });
+    }
+    ASSERT_EQ(sim.PendingEvents(), reference.size()) << "at step " << step;
+    ASSERT_EQ(engine_fired, reference_fired) << "at step " << step;
+  }
+
+  sim.RunUntilEmpty();
+  fire_reference_until(std::numeric_limits<SimTime>::max());
+  EXPECT_EQ(engine_fired, reference_fired);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(sim.stats().events_executed, engine_fired.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineVsReferenceTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// --- Machine churn on top of the engine --------------------------------------
+
+class MachineOnEngineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MachineOnEngineTest, RateCapAndAffinityChurnKeepInvariants) {
+  Simulator sim;
+  MachineSpec spec;
+  spec.num_cores = 6;
+  spec.quantum = FromMillis(2);
+  spec.context_switch = FromMicros(1);
+  spec.throttle_interval = FromMillis(8);
+  SimMachine machine(&sim, spec, "engine-churn");
+  Rng rng(GetParam());
+
+  const JobId capped = machine.CreateJob("capped");
+  const JobId free_job = machine.CreateJob("free");
+  for (int i = 0; i < 4; ++i) {
+    machine.SpawnLoopThread("hog", TenantClass::kSecondary, capped);
+  }
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng.UniformInt(0, 5)) {
+      case 0:  // flip the rate cap (arms/cancels/reschedules exhaust checks)
+        ASSERT_TRUE(machine.SetJobCpuRateCap(capped, rng.Uniform(0.0, 0.6)).ok());
+        break;
+      case 1:
+        ASSERT_TRUE(machine.SetJobCpuRateCap(capped, 0).ok());
+        break;
+      case 2: {  // affinity churn (cancels slice events via preemption)
+        CpuSet mask = CpuSet::FromMask64(rng.Next() & 0x3F);
+        if (mask.Empty()) {
+          mask = CpuSet::FirstN(spec.num_cores);
+        }
+        ASSERT_TRUE(machine.SetJobAffinity(capped, mask).ok());
+        break;
+      }
+      case 3:  // short primary bursts compete for cores
+        machine.SpawnThread("burst", TenantClass::kPrimary, free_job,
+                            FromMicros(rng.Uniform(5, 500)), nullptr);
+        break;
+      case 4:  // suspend/resume
+        ASSERT_TRUE(machine.SetJobSuspended(capped, rng.Bernoulli(0.5)).ok());
+        break;
+      default:
+        break;
+    }
+    sim.RunUntil(sim.Now() + rng.UniformInt(0, static_cast<int64_t>(FromMicros(400))));
+    const Status invariants = machine.CheckInvariants();
+    ASSERT_TRUE(invariants.ok()) << "step " << step << ": " << invariants.ToString();
+  }
+  ASSERT_TRUE(machine.SetJobSuspended(capped, false).ok());
+  (void)machine.KillJob(capped);
+  sim.RunUntil(sim.Now() + kSecond);
+  ASSERT_TRUE(machine.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineOnEngineTest, ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace perfiso
