@@ -18,8 +18,8 @@ using namespace perfiso::bench;
 
 SingleBoxScenario BlindScenario(const std::function<void(PerfIsoConfig&)>& tweak) {
   SingleBoxScenario scenario;
-  scenario.qps = 2000;
-  scenario.cpu_bully_threads = 48;
+  scenario.load = ConstantLoad(2000);
+  scenario.tenants.cpu_bully_threads = 48;
   scenario.measure = 5 * kSecond;
   PerfIsoConfig config;
   config.cpu_mode = CpuIsolationMode::kBlindIsolation;
@@ -38,7 +38,7 @@ int main() {
   // One parallel batch over every ablation row; sections print afterwards.
   std::vector<SingleBoxScenario> scenarios;
   SingleBoxScenario base;
-  base.qps = 2000;
+  base.load = ConstantLoad(2000);
   base.measure = 5 * kSecond;
   scenarios.push_back(base);  // row 0: standalone
 

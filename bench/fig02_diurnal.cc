@@ -1,0 +1,204 @@
+// Figure 2: the utilization-over-the-day story. Bing index clusters idle at
+// ~21% average CPU because they are provisioned for the diurnal peak and for
+// sudden bursts (§1, §3.1, Fig. 2); PerfIso's pitch is harvesting that idle
+// capacity without losing the burst-absorption buffer.
+//
+// Two parts, all rows computed through the parallel runner:
+//  1. The diurnal day: the registry's "diurnal-no-isolation" and
+//     "diurnal-blind" scenarios run continuously over one simulated day
+//     (raised-cosine load, trough at the edges, peak mid-day), sampled per
+//     interval. Under PerfIso the secondary harvests the troughs while the
+//     peak-hour P99 stays within a few percent of a constant-rate-at-peak
+//     baseline; without isolation the peak hours collapse.
+//  2. The flash crowd: "flash-crowd-*" scenarios show the idle-core buffer
+//     absorbing a 4x query spike — P99 degradation under blind isolation is
+//     a tiny fraction of the no-isolation degradation.
+//
+// Per-day latency digests are printed so parallel and sequential runs can be
+// compared bit-for-bit (PERFISO_BENCH_THREADS=1 forces sequential; the
+// determinism test pins this).
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace {
+
+using namespace perfiso;
+using namespace perfiso::bench;
+
+struct DayRow {
+  double qps = 0;
+  double p99_ms = 0;
+  double primary_util = 0;
+  double secondary_util = 0;
+};
+
+struct DayRun {
+  std::vector<DayRow> rows;
+  uint64_t digest = 0;     // order-sensitive digest over the whole day
+  int64_t completed = 0;
+};
+
+// One continuous single-box simulation over a full diurnal period, sampled
+// every `interval_len`. Pure function of its inputs (the parallel-runner
+// contract): all seeds come from the spec.
+DayRun RunDay(const ScenarioSpec& spec, int intervals, SimDuration interval_len) {
+  Simulator sim;
+  const std::unique_ptr<IndexNodeRig> rig_ptr = MakeSingleBoxRig(&sim, spec);
+  IndexNodeRig& rig = *rig_ptr;
+
+  Rng trace_rng(spec.trace_seed);
+  auto trace = GenerateTrace(TraceSpec{}, spec.trace_count, &trace_rng);
+
+  DayRun day;
+  LatencyRecorder day_latency;
+  OpenLoopClient client(&sim, std::move(trace), spec.load, Rng(spec.client_seed),
+                        [&rig, &day, &day_latency](const QueryWork& work, SimTime) {
+                          rig.server().SubmitQuery(
+                              work, [&day, &day_latency](const QueryResult& result) {
+                                if (!result.dropped) {
+                                  day_latency.Add(result.latency_ms);
+                                  ++day.completed;
+                                }
+                              });
+                        });
+  client.Run(0, intervals * interval_len);
+
+  for (int interval = 0; interval < intervals; ++interval) {
+    rig.server().ResetStats();
+    const auto snap = rig.SnapshotUtilization();
+    sim.RunUntil(sim.Now() + interval_len);
+    DayRow row;
+    row.qps = spec.load.RateAt(interval * interval_len + interval_len / 2);
+    row.p99_ms = rig.server().stats().latency_ms.P99();
+    row.primary_util = rig.UtilizationSince(snap, TenantClass::kPrimary);
+    row.secondary_util = rig.UtilizationSince(snap, TenantClass::kSecondary);
+    day.rows.push_back(row);
+  }
+  day.digest = day_latency.Digest();
+  return day;
+}
+
+}  // namespace
+
+int main() {
+  StartReport("fig02_diurnal");
+  PrintHeader("Diurnal load and burst absorption", "Fig. 2 + §3.1",
+              "clusters average ~21% CPU provisioned for diurnal peaks and bursts; "
+              "PerfIso harvests the troughs and the idle buffer absorbs spikes");
+
+  const int intervals = std::max(8, static_cast<int>(24 * BenchScale()));
+  const SimDuration interval_len = kSecond;
+
+  auto day_spec = [&](const char* name) {
+    ScenarioSpec spec = MustFindScenario(name);
+    // One diurnal period spans the whole (scale-dependent) day.
+    spec.load.diurnal_period_sec = ToSeconds(intervals * interval_len);
+    return spec;
+  };
+  const ScenarioSpec no_iso = day_spec("diurnal-no-isolation");
+  const ScenarioSpec blind = day_spec("diurnal-blind");
+
+  // The constant-rate baseline the peak hour is judged against: same tenants
+  // and isolation as diurnal-blind, but flat at the diurnal peak.
+  ScenarioSpec peak_baseline = blind;
+  peak_baseline.name = "peak-constant-blind";
+  peak_baseline.load = ConstantLoad(blind.load.qps);
+  peak_baseline.measure = 8 * kSecond;
+
+  // Every row through the parallel runner: the two continuous days, the
+  // constant baseline, and the flash-crowd trio.
+  struct Job {
+    DayRun day;                // set for the two day runs
+    SingleBoxResult box;       // set for the single-box rows
+  };
+  std::vector<std::function<Job()>> jobs;
+  jobs.emplace_back([&] { return Job{RunDay(no_iso, intervals, interval_len), {}}; });
+  jobs.emplace_back([&] { return Job{RunDay(blind, intervals, interval_len), {}}; });
+  jobs.emplace_back([&] { return Job{{}, RunSingleBox(peak_baseline)}; });
+  // RunSingleBox compresses the flash timeline to the bench scale itself
+  // (ScaleScenarioForBench), so the spike stays inside the smoke window.
+  for (const char* name : {"flash-crowd-standalone", "flash-crowd-no-isolation",
+                           "flash-crowd-blind"}) {
+    jobs.emplace_back([spec = MustFindScenario(name)] { return Job{{}, RunSingleBox(spec)}; });
+  }
+  const std::vector<Job> results = RunParallel(std::move(jobs));
+  const DayRun& day_no_iso = results[0].day;
+  const DayRun& day_blind = results[1].day;
+  const SingleBoxResult& baseline = results[2].box;
+
+  // --- Part 1: the diurnal day ----------------------------------------------
+  std::printf("%6s %8s | %12s %7s %7s | %12s %7s %7s\n", "hour", "QPS",
+              "noiso p99", "prim%", "sec%", "blind p99", "prim%", "sec%");
+  size_t peak_interval = 0;
+  for (size_t i = 0; i < day_blind.rows.size(); ++i) {
+    const DayRow& a = day_no_iso.rows[i];
+    const DayRow& b = day_blind.rows[i];
+    if (b.qps > day_blind.rows[peak_interval].qps) {
+      peak_interval = i;
+    }
+    std::printf("%6zu %8.0f | %12.2f %6.1f%% %6.1f%% | %12.2f %6.1f%% %6.1f%%\n", i, b.qps,
+                a.p99_ms, a.primary_util * 100, a.secondary_util * 100, b.p99_ms,
+                b.primary_util * 100, b.secondary_util * 100);
+    ReportRow("hour=" + std::to_string(i),
+              {
+                  {"qps", b.qps},
+                  {"noiso_p99_ms", a.p99_ms},
+                  {"noiso_secondary_util", a.secondary_util},
+                  {"blind_p99_ms", b.p99_ms},
+                  {"blind_primary_util", b.primary_util},
+                  {"blind_secondary_util", b.secondary_util},
+              });
+  }
+
+  const DayRow& peak = day_blind.rows[peak_interval];
+  // The raised cosine troughs at both ends of the day; sample the *final*
+  // interval, which is fully warmed up (interval 0 measures the controller
+  // and tenants still converging from cold start).
+  const DayRow& trough = day_blind.rows.back();
+  std::printf("\npeak-hour p99 under PerfIso: %.2f ms vs constant-rate baseline %.2f ms "
+              "(%+.1f%%; target: within +5%%)\n",
+              peak.p99_ms, baseline.p99_ms,
+              100 * (peak.p99_ms - baseline.p99_ms) / baseline.p99_ms);
+  std::printf("harvested secondary utilization: trough %.1f%% vs peak %.1f%% "
+              "(troughs are harvested)\n",
+              trough.secondary_util * 100, peak.secondary_util * 100);
+  std::printf("day digests (bit-identical across sequential/parallel runs): "
+              "noiso=%016" PRIx64 " (%lld queries) blind=%016" PRIx64 " (%lld queries)\n",
+              day_no_iso.digest, static_cast<long long>(day_no_iso.completed),
+              day_blind.digest, static_cast<long long>(day_blind.completed));
+  PrintPaperNote("Fig. 2: diurnal load, ~21% average CPU; blind isolation harvests idle "
+                 "capacity without losing the peak");
+  ReportRow("summary", {
+                           {"peak_p99_ms", peak.p99_ms},
+                           {"baseline_p99_ms", baseline.p99_ms},
+                           {"trough_secondary_util", trough.secondary_util},
+                           {"peak_secondary_util", peak.secondary_util},
+                           {"noiso_digest_lo32", static_cast<double>(day_no_iso.digest &
+                                                                     0xffffffffu)},
+                           {"blind_digest_lo32", static_cast<double>(day_blind.digest &
+                                                                     0xffffffffu)},
+                       });
+
+  // --- Part 2: the flash crowd ----------------------------------------------
+  std::printf("\nflash crowd (1,500 QPS -> 6,000 QPS spike mid-window):\n");
+  PrintRowHeader();
+  const SingleBoxResult& fc_standalone = results[3].box;
+  const SingleBoxResult& fc_no_iso = results[4].box;
+  const SingleBoxResult& fc_blind = results[5].box;
+  PrintRow("flash-crowd standalone", fc_standalone);
+  PrintRow("flash-crowd no isolation", fc_no_iso);
+  PrintRow("flash-crowd blind (B=8)", fc_blind);
+  const double no_iso_degradation = fc_no_iso.p99_ms - fc_standalone.p99_ms;
+  const double blind_degradation = fc_blind.p99_ms - fc_standalone.p99_ms;
+  std::printf("\np99 degradation vs standalone: no-isolation %+.2f ms, blind %+.2f ms "
+              "(buffer absorbs the spike)\n",
+              no_iso_degradation, blind_degradation);
+  ReportRow("flash_crowd", {
+                               {"standalone_p99_ms", fc_standalone.p99_ms},
+                               {"no_isolation_p99_ms", fc_no_iso.p99_ms},
+                               {"blind_p99_ms", fc_blind.p99_ms},
+                           });
+  return 0;
+}

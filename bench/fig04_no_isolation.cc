@@ -30,12 +30,12 @@ int main() {
 
   // Rows execute across hardware threads (each with its own Simulator);
   // printing happens afterwards in input order.
-  std::vector<SingleBoxScenario> scenarios;
+  std::vector<ScenarioSpec> scenarios;
   for (const auto& c : kCases) {
     for (double qps : {2000.0, 4000.0}) {
-      SingleBoxScenario scenario;
-      scenario.qps = qps;
-      scenario.cpu_bully_threads = c.bully_threads;
+      ScenarioSpec scenario;
+      scenario.load = ConstantLoad(qps);
+      scenario.tenants.cpu_bully_threads = c.bully_threads;
       scenarios.push_back(scenario);
     }
   }

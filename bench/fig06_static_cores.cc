@@ -22,14 +22,14 @@ int main() {
   std::vector<SingleBoxScenario> scenarios;
   for (int i = 0; i < 2; ++i) {
     SingleBoxScenario scenario;
-    scenario.qps = kRates[i];
+    scenario.load = ConstantLoad(kRates[i]);
     scenarios.push_back(scenario);
   }
   for (int cores : {24, 16, 8}) {
     for (int i = 0; i < 2; ++i) {
       SingleBoxScenario scenario;
-      scenario.qps = kRates[i];
-      scenario.cpu_bully_threads = 48;
+      scenario.load = ConstantLoad(kRates[i]);
+      scenario.tenants.cpu_bully_threads = 48;
       PerfIsoConfig config;
       config.cpu_mode = CpuIsolationMode::kStaticCores;
       config.static_secondary_cores = cores;

@@ -22,14 +22,14 @@ int main() {
   std::vector<SingleBoxScenario> scenarios;
   for (int i = 0; i < 2; ++i) {
     SingleBoxScenario scenario;
-    scenario.qps = kRates[i];
+    scenario.load = ConstantLoad(kRates[i]);
     scenarios.push_back(scenario);
   }
   for (double cap : {0.45, 0.25, 0.05}) {
     for (int i = 0; i < 2; ++i) {
       SingleBoxScenario scenario;
-      scenario.qps = kRates[i];
-      scenario.cpu_bully_threads = 48;
+      scenario.load = ConstantLoad(kRates[i]);
+      scenario.tenants.cpu_bully_threads = 48;
       PerfIsoConfig config;
       config.cpu_mode = CpuIsolationMode::kCpuRateCap;
       config.cpu_rate_cap = cap;

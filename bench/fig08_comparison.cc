@@ -17,8 +17,8 @@ namespace {
 
 perfiso::bench::SingleBoxScenario Base(double qps) {
   perfiso::bench::SingleBoxScenario scenario;
-  scenario.qps = qps;
-  scenario.cpu_bully_threads = 48;
+  scenario.load = perfiso::ConstantLoad(qps);
+  scenario.tenants.cpu_bully_threads = 48;
   return scenario;
 }
 
@@ -47,7 +47,7 @@ int main() {
   cases.push_back(Case{"standalone", {}});
   for (int i = 0; i < 2; ++i) {
     SingleBoxScenario scenario;
-    scenario.qps = kRates[i];
+    scenario.load = ConstantLoad(kRates[i]);
     scenarios.push_back(scenario);
   }
   cases.push_back(Case{"no isolation", {}});

@@ -7,10 +7,10 @@
 // represented by a sampled 6-column x 2-row cluster (every machine is
 // statistically identical, so per-machine load — not machine count — drives
 // the metrics), and the hour is compressed into 30 intervals of 2 simulated
-// seconds, each at the per-machine QPS of the corresponding production
-// minute. The load curve follows a smooth diurnal-style ramp like the
-// paper's plot.
-#include <cmath>
+// seconds. The whole run is the registry's "fig10-production" scenario: a
+// diurnal load shape driving one continuous non-homogeneous Poisson client
+// (no per-interval client restarts), HDFS + ML training as the secondary,
+// and blind isolation plus the ML disk cap.
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -38,50 +38,34 @@ int main() {
   const int intervals = std::max(6, static_cast<int>(30 * BenchScale()));
   const SimDuration interval_len = 2 * kSecond;
 
-  auto run = [intervals, interval_len] {
+  ScenarioSpec spec = MustFindScenario("fig10-production");
+  // One diurnal period spans the (scale-dependent) compressed hour.
+  spec.load.diurnal_period_sec = ToSeconds(intervals * interval_len);
+  spec.measure = intervals * interval_len;
+
+  auto run = [intervals, interval_len, &spec] {
     std::vector<IntervalRow> rows;
     Simulator sim;
-    ClusterOptions options;
-    options.topology = ClusterTopology{6, 2, 4};
-    Cluster cluster(&sim, options);
+    Cluster cluster(&sim, MakeClusterOptions(spec));
+    ApplyScenarioTenants(&cluster, spec);
 
-    cluster.ForEachIndexNode([&](IndexNodeRig& node) {
-      node.StartHdfsClient(HdfsClient::Options{});
-      MlTrainingJob::Options ml;
-      ml.worker_threads = 20;  // training parallelism does not scale to the whole box
-      node.StartMlTraining(ml);
-      PerfIsoConfig config;
-      config.cpu_mode = CpuIsolationMode::kBlindIsolation;
-      config.blind.buffer_cores = 8;
-      config.io_limits.push_back(
-          IoOwnerLimit{kIoOwnerMlTraining, 100e6, 0, /*priority=*/2, 1.0, 0});
-      Status status = node.StartPerfIso(config);
-      if (!status.ok()) {
-        std::abort();
-      }
-    });
+    Rng trace_rng(spec.trace_seed);
+    auto trace = GenerateTrace(TraceSpec{}, spec.trace_count, &trace_rng);
+    OpenLoopClient client(&sim, std::move(trace), spec.load, Rng(spec.client_seed),
+                          [&cluster](const QueryWork& work, SimTime) {
+                            cluster.SubmitQuery(work);
+                          });
+    client.Run(0, spec.measure);
 
-    Rng trace_rng(606);
-    auto trace = GenerateTrace(TraceSpec{}, 20000, &trace_rng);
-
-    Rng arrival_rng(17);
     double prev_progress = 0;
     for (int interval = 0; interval < intervals; ++interval) {
-      // Diurnal-style curve between ~55% and 100% of per-row peak (4,000 QPS
-      // per machine corresponds to peak; production runs below peak).
-      const double phase = static_cast<double>(interval) / intervals;  // one full cycle
-      const double row_qps = 2 * 2600.0 + 2 * 1200.0 * std::sin(phase * 2 * M_PI);
-      OpenLoopClient client(&sim, trace, row_qps, arrival_rng.Fork(),
-                            [&cluster](const QueryWork& work, SimTime) {
-                              cluster.SubmitQuery(work);
-                            });
       cluster.ResetStats();
       const auto snaps = cluster.SnapshotAll();
-      client.Run(sim.Now(), interval_len);
       sim.RunUntil(sim.Now() + interval_len);
 
       IntervalRow row;
-      row.row_qps = row_qps;
+      row.row_qps =
+          spec.load.RateAt(interval * interval_len + interval_len / 2);  // midpoint
       row.tla_p99_ms = cluster.TlaLatency().P99();
       row.busy = cluster.MeanBusyFractionSince(snaps);
       double progress = 0;

@@ -126,6 +126,80 @@ double BenchScale() {
   return std::clamp(scale > 0 ? scale : 1.0, 0.05, 100.0);
 }
 
+SimDuration ScaledMeasure(const ScenarioSpec& scenario) {
+  return std::max<SimDuration>(
+      kSecond,
+      static_cast<SimDuration>(static_cast<double>(scenario.measure) * BenchScale()));
+}
+
+ScenarioSpec ScaleScenarioForBench(const ScenarioSpec& scenario) {
+  ScenarioSpec scaled = scenario;
+  scaled.measure = ScaledMeasure(scenario);
+  if (scaled.measure == scenario.measure) {
+    return scaled;  // scale 1 (or the 1 s floor equals the spec): identity
+  }
+  const double factor =
+      static_cast<double>(scaled.measure) / static_cast<double>(scenario.measure);
+  const double warmup_sec = ToSeconds(scenario.warmup);
+  // Absolute shape times keep their position relative to the measurement
+  // window; the (unscaled) warmup region maps to itself.
+  const auto remap = [factor, warmup_sec](double t_sec) {
+    return t_sec <= warmup_sec ? t_sec : warmup_sec + (t_sec - warmup_sec) * factor;
+  };
+  switch (scaled.load.kind) {
+    case LoadShapeKind::kConstant:
+      break;
+    case LoadShapeKind::kDiurnal:
+      scaled.load.diurnal_period_sec *= factor;
+      break;
+    case LoadShapeKind::kRamp:
+      // The ramp is a one-shot feature like the flash window: its end must
+      // keep its position relative to the measurement window, not compress
+      // into the unscaled warmup.
+      scaled.load.ramp_duration_sec = remap(scaled.load.ramp_duration_sec);
+      break;
+    case LoadShapeKind::kFlashCrowd:
+      scaled.load.flash_start_sec = remap(scaled.load.flash_start_sec);
+      scaled.load.flash_duration_sec *= factor;
+      break;
+    case LoadShapeKind::kSquareWave:
+      scaled.load.square_period_sec *= factor;
+      break;
+    case LoadShapeKind::kPiecewise:
+      for (PiecewisePoint& point : scaled.load.piecewise) {
+        point.at_sec = remap(point.at_sec);
+      }
+      break;
+  }
+  return scaled;
+}
+
+namespace {
+
+// The one place a spec's tenants + isolation attach to a rig; single-box and
+// cluster runs of the same spec must not diverge.
+void StartScenarioOnRig(IndexNodeRig* rig, const ScenarioSpec& scenario) {
+  rig->StartTenants(scenario.tenants);
+  if (scenario.perfiso.has_value()) {
+    Status status = rig->StartPerfIso(*scenario.perfiso);
+    if (!status.ok()) {
+      std::fprintf(stderr, "PerfIso start failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<IndexNodeRig> MakeSingleBoxRig(Simulator* sim, const ScenarioSpec& scenario,
+                                               const IndexNodeOptions& node_options) {
+  IndexNodeOptions node = node_options;
+  node.seed = scenario.node_seed;
+  auto rig = std::make_unique<IndexNodeRig>(sim, node, "m0");
+  StartScenarioOnRig(rig.get(), scenario);
+  return rig;
+}
+
 int BenchThreads() {
   // Read each call (not cached): determinism tests flip the variable at
   // runtime to compare parallel and sequential executions.
@@ -139,46 +213,60 @@ int BenchThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-std::vector<SingleBoxResult> RunScenarios(const std::vector<SingleBoxScenario>& scenarios) {
+std::vector<SingleBoxResult> RunScenarios(const std::vector<ScenarioSpec>& scenarios) {
   std::vector<std::function<SingleBoxResult()>> jobs;
   jobs.reserve(scenarios.size());
-  for (const SingleBoxScenario& scenario : scenarios) {
+  for (const ScenarioSpec& scenario : scenarios) {
     jobs.emplace_back([scenario] { return RunSingleBox(scenario); });
   }
   return RunParallel(std::move(jobs));
 }
 
-SingleBoxResult RunSingleBox(const SingleBoxScenario& scenario) {
-  Simulator sim;
-  IndexNodeOptions node = scenario.node;
-  node.seed = scenario.node_seed;
-  IndexNodeRig rig(&sim, node, "m0");
+SingleBoxResult RunSingleBox(const ScenarioSpec& input, const IndexNodeOptions& node_options) {
+  if (Status status = input.Validate(); !status.ok()) {
+    std::fprintf(stderr, "invalid scenario %s: %s\n", input.name.c_str(),
+                 status.ToString().c_str());
+    std::abort();
+  }
+  if (input.topology.columns != 0) {
+    std::fprintf(stderr, "scenario %s is a cluster spec; RunSingleBox needs columns == 0\n",
+                 input.name.c_str());
+    std::abort();
+  }
+  // Compress the whole timeline — window *and* shape times — to the bench
+  // scale, so a smoke run still measures the spike/bursts/full period.
+  const ScenarioSpec scenario = ScaleScenarioForBench(input);
 
-  if (scenario.cpu_bully_threads > 0) {
-    rig.StartCpuBully(scenario.cpu_bully_threads);
-  }
-  if (scenario.disk_bully) {
-    rig.StartDiskBully(DiskBully::Options{});
-  }
-  if (scenario.perfiso.has_value()) {
-    Status status = rig.StartPerfIso(*scenario.perfiso);
-    if (!status.ok()) {
-      std::fprintf(stderr, "PerfIso start failed: %s\n", status.ToString().c_str());
-      std::abort();
-    }
-  }
+  Simulator sim;
+  const std::unique_ptr<IndexNodeRig> rig_ptr = MakeSingleBoxRig(&sim, scenario, node_options);
+  IndexNodeRig& rig = *rig_ptr;
 
   Rng trace_rng(scenario.trace_seed);
-  auto trace = GenerateTrace(TraceSpec{}, 20000, &trace_rng);
-  OpenLoopClient client(&sim, std::move(trace), scenario.qps, Rng(7),
+  auto trace = GenerateTrace(TraceSpec{}, scenario.trace_count, &trace_rng);
+
+  const SimDuration measure = scenario.measure;  // already scaled
+
+  // Both clients live on the stack; the simulator drains inside this scope.
+  std::optional<OpenLoopClient> open_client;
+  std::optional<ClosedLoopClient> closed_client;
+  if (scenario.client == ClientKind::kOpenLoop) {
+    open_client.emplace(&sim, std::move(trace), scenario.load, Rng(scenario.client_seed),
                         [&rig](const QueryWork& work, SimTime) {
                           rig.server().SubmitQuery(work);
                         });
+    open_client->Run(0, scenario.warmup + measure);
+  } else {
+    closed_client.emplace(&sim, std::move(trace), scenario.closed.outstanding,
+                          scenario.closed.think_time, Rng(scenario.client_seed),
+                          [&rig, &closed_client](const QueryWork& work, SimTime) {
+                            rig.server().SubmitQuery(work,
+                                                     [&closed_client](const QueryResult&) {
+                                                       closed_client->OnComplete();
+                                                     });
+                          });
+    closed_client->Run(0, scenario.warmup + measure);
+  }
 
-  const SimDuration measure =
-      std::max<SimDuration>(kSecond, static_cast<SimDuration>(
-                                         static_cast<double>(scenario.measure) * BenchScale()));
-  client.Run(0, scenario.warmup + measure);
   sim.RunUntil(scenario.warmup);
   rig.server().ResetStats();
   const auto snap = rig.SnapshotUtilization();
@@ -199,7 +287,202 @@ SingleBoxResult RunSingleBox(const SingleBoxScenario& scenario) {
   result.secondary_progress = rig.SecondaryProgress() - progress_then;
   result.hedges = stats.hedges_issued;
   result.queries = stats.submitted;
+  result.latency_digest = stats.latency_ms.Digest();
   return result;
+}
+
+// --- Scenario registry --------------------------------------------------------
+
+namespace {
+
+ScenarioSpec BaseScenario(const char* name, LoadShapeSpec load) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.load = load;
+  return spec;
+}
+
+PerfIsoConfig BlindConfig(int buffer_cores = 8) {
+  PerfIsoConfig config;
+  config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+  config.blind.buffer_cores = buffer_cores;
+  return config;
+}
+
+// The canonical named scenarios. Kept in one place so benches, tests, and the
+// golden-digest regressions all agree on what e.g. "diurnal-blind" means;
+// changing a spec here is a results-affecting change and will trip the golden
+// tests (see the update procedure in tests/bench_determinism_test.cc).
+std::vector<ScenarioSpec> BuildRegistry() {
+  std::vector<ScenarioSpec> registry;
+
+  registry.push_back(BaseScenario("standalone", ConstantLoad(2000)));
+
+  {
+    ScenarioSpec spec = BaseScenario("no-isolation-high", ConstantLoad(2000));
+    spec.tenants.cpu_bully_threads = 48;
+    registry.push_back(spec);
+  }
+  {
+    ScenarioSpec spec = BaseScenario("blind-high", ConstantLoad(2000));
+    spec.tenants.cpu_bully_threads = 48;
+    spec.perfiso = BlindConfig();
+    registry.push_back(spec);
+  }
+
+  // The diurnal day (Fig. 2): one full period over the measurement window,
+  // peak at the paper's high rate. With trough_fraction 0.1 the daily average
+  // is 0.55x peak — ~21% average CPU on our machine model, the paper's
+  // headline idle number.
+  {
+    ScenarioSpec spec = BaseScenario("diurnal-no-isolation", DiurnalLoad(4000, 24));
+    spec.measure = 24 * kSecond;
+    spec.tenants.cpu_bully_threads = 48;
+    registry.push_back(spec);
+  }
+  {
+    ScenarioSpec spec = BaseScenario("diurnal-blind", DiurnalLoad(4000, 24));
+    spec.measure = 24 * kSecond;
+    spec.tenants.cpu_bully_threads = 48;
+    spec.perfiso = BlindConfig();
+    registry.push_back(spec);
+  }
+
+  // Flash crowd (§3.1's sudden burst): 1,500 QPS background jumping to 6,000
+  // for one second mid-window. The idle-core buffer is what absorbs it.
+  {
+    ScenarioSpec spec =
+        BaseScenario("flash-crowd-standalone", FlashCrowdLoad(1500, 6000, 3, 1));
+    registry.push_back(spec);
+  }
+  {
+    ScenarioSpec spec =
+        BaseScenario("flash-crowd-no-isolation", FlashCrowdLoad(1500, 6000, 3, 1));
+    spec.tenants.cpu_bully_threads = 48;
+    registry.push_back(spec);
+  }
+  {
+    ScenarioSpec spec = BaseScenario("flash-crowd-blind", FlashCrowdLoad(1500, 6000, 3, 1));
+    spec.tenants.cpu_bully_threads = 48;
+    spec.perfiso = BlindConfig();
+    registry.push_back(spec);
+  }
+
+  // Burst train: square wave between 1,000 and 4,000 QPS, 25% duty.
+  {
+    ScenarioSpec spec = BaseScenario("burst-train-blind", ConstantLoad(1000));
+    spec.load.kind = LoadShapeKind::kSquareWave;
+    spec.load.square_burst_qps = 4000;
+    spec.load.square_period_sec = 2;
+    spec.load.square_duty = 0.25;
+    spec.tenants.cpu_bully_threads = 48;
+    spec.perfiso = BlindConfig();
+    registry.push_back(spec);
+  }
+
+  // Linear ramp into saturation under blind isolation.
+  {
+    ScenarioSpec spec = BaseScenario("ramp-blind", ConstantLoad(500));
+    spec.load.kind = LoadShapeKind::kRamp;
+    spec.load.ramp_end_qps = 4000;
+    spec.load.ramp_duration_sec = 8;
+    spec.tenants.cpu_bully_threads = 48;
+    spec.perfiso = BlindConfig();
+    registry.push_back(spec);
+  }
+
+  // Closed-loop saturation study: 64 users, 1 ms think time — offered load is
+  // completion-limited instead of a fixed rate.
+  {
+    ScenarioSpec spec = BaseScenario("closed-loop-saturation", ConstantLoad(2000));
+    spec.client = ClientKind::kClosedLoop;
+    spec.closed.outstanding = 64;
+    spec.closed.think_time = FromMillis(1);
+    spec.tenants.cpu_bully_threads = 48;
+    spec.perfiso = BlindConfig();
+    registry.push_back(spec);
+  }
+
+  // Fig. 10's production colocation, as a cluster spec: diurnal load over a
+  // 6x2 sampled cluster, HDFS + ML training as the secondary, blind isolation
+  // plus the ML job's disk cap.
+  {
+    ScenarioSpec spec = BaseScenario("fig10-production", DiurnalLoad(7600, 60, 0.37));
+    spec.measure = 60 * kSecond;
+    spec.topology = TopologySpec{6, 2, 4};
+    spec.tenants.hdfs_client = true;
+    spec.tenants.ml_training = true;
+    spec.tenants.ml_worker_threads = 20;
+    PerfIsoConfig config = BlindConfig();
+    config.io_limits.push_back(
+        IoOwnerLimit{kIoOwnerMlTraining, 100e6, 0, /*priority=*/2, 1.0, 0});
+    spec.perfiso = config;
+    registry.push_back(spec);
+  }
+
+  return registry;
+}
+
+const std::vector<ScenarioSpec>& Registry() {
+  static const std::vector<ScenarioSpec>* registry =
+      new std::vector<ScenarioSpec>(BuildRegistry());
+  return *registry;
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioNames() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const ScenarioSpec& spec : Registry()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+StatusOr<ScenarioSpec> FindScenario(const std::string& name) {
+  for (const ScenarioSpec& spec : Registry()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  return NotFoundError("no scenario named " + name);
+}
+
+ScenarioSpec MustFindScenario(const std::string& name) {
+  auto spec = FindScenario(name);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    std::abort();
+  }
+  return *spec;
+}
+
+std::vector<SingleBoxResult> RunNamedScenarios(const std::vector<std::string>& names) {
+  std::vector<ScenarioSpec> scenarios;
+  scenarios.reserve(names.size());
+  for (const std::string& name : names) {
+    scenarios.push_back(MustFindScenario(name));
+  }
+  return RunScenarios(scenarios);
+}
+
+ClusterOptions MakeClusterOptions(const ScenarioSpec& scenario) {
+  if (scenario.topology.columns <= 0) {
+    std::fprintf(stderr, "scenario %s is single-box; MakeClusterOptions needs columns > 0\n",
+                 scenario.name.c_str());
+    std::abort();
+  }
+  ClusterOptions options;
+  options.topology = ClusterTopology{scenario.topology.columns, scenario.topology.rows,
+                                     scenario.topology.tla_machines};
+  options.node.seed = scenario.node_seed;
+  return options;
+}
+
+void ApplyScenarioTenants(Cluster* cluster, const ScenarioSpec& scenario) {
+  cluster->ForEachIndexNode(
+      [&scenario](IndexNodeRig& node) { StartScenarioOnRig(&node, scenario); });
 }
 
 void PrintHeader(const std::string& title, const std::string& figure,

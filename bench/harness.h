@@ -4,21 +4,29 @@
 // running single-box or cluster scenarios and printing the same rows the
 // figure reports, alongside the paper's reference values. Durations scale
 // with the PERFISO_BENCH_SCALE environment variable (default 1.0).
+//
+// Scenarios are declarative ScenarioSpec values (src/workload/scenario.h): a
+// load shape, a replay client, a tenant mix, and an optional PerfIso config.
+// The registry below names the canonical ones so benches and tests enumerate
+// them by name instead of hand-rolling structs.
 #ifndef PERFISO_BENCH_HARNESS_H_
 #define PERFISO_BENCH_HARNESS_H_
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/cluster/index_node.h"
 #include "src/perfiso/perfiso_config.h"
 #include "src/workload/query_trace.h"
+#include "src/workload/scenario.h"
 
 namespace perfiso {
 namespace bench {
@@ -26,18 +34,28 @@ namespace bench {
 // Scale factor from PERFISO_BENCH_SCALE (clamped to [0.05, 100]).
 double BenchScale();
 
-// One single-machine colocation scenario (the setting of Figs. 4-8).
-struct SingleBoxScenario {
-  double qps = 2000;
-  int cpu_bully_threads = 0;           // 0 = standalone
-  std::optional<PerfIsoConfig> perfiso;  // nullopt = no isolation
-  bool disk_bully = false;
-  SimDuration warmup = kSecond;
-  SimDuration measure = 8 * kSecond;   // scaled by BenchScale()
-  uint64_t trace_seed = 2017;
-  uint64_t node_seed = 77;
-  IndexNodeOptions node;
-};
+// The measurement window RunSingleBox actually uses: the spec's `measure`
+// scaled by BenchScale(), floored at one second.
+SimDuration ScaledMeasure(const ScenarioSpec& scenario);
+
+// Compresses the spec's timeline to the scaled window: `measure` becomes
+// ScaledMeasure() and every one-shot shape feature (flash window, piecewise
+// steps, the ramp's end) keeps its position *relative to the measurement
+// window*, while the periods of repeating shapes (diurnal, square wave)
+// shrink by the same factor. Identity at scale 1. RunSingleBox applies this
+// itself, so a registry scenario measures its whole shape — spike, bursts,
+// full diurnal period — at any PERFISO_BENCH_SCALE.
+ScenarioSpec ScaleScenarioForBench(const ScenarioSpec& scenario);
+
+// Builds the rig a single-box spec describes — node seeded from the spec,
+// tenants started, PerfIso attached (abort on failure). Shared by
+// RunSingleBox and continuous-run benches like fig02.
+std::unique_ptr<IndexNodeRig> MakeSingleBoxRig(Simulator* sim, const ScenarioSpec& scenario,
+                                               const IndexNodeOptions& node = IndexNodeOptions{});
+
+// One single-machine colocation scenario (the setting of Figs. 4-8) — now the
+// declarative spec itself; benches fill in the load shape and tenant mix.
+using SingleBoxScenario = ScenarioSpec;
 
 struct SingleBoxResult {
   double p50_ms = 0;
@@ -53,9 +71,41 @@ struct SingleBoxResult {
   double secondary_progress = 0;
   int64_t hedges = 0;
   int64_t queries = 0;
+  // Order-sensitive digest of the latency recorder after the measurement
+  // window — the golden-regression anchor (tests/bench_determinism_test.cc).
+  uint64_t latency_digest = 0;
 };
 
-SingleBoxResult RunSingleBox(const SingleBoxScenario& scenario);
+// Runs one single-box spec (topology.columns must be 0). Aborts loudly on an
+// invalid spec — benches are not in the error-propagation business.
+SingleBoxResult RunSingleBox(const ScenarioSpec& scenario,
+                             const IndexNodeOptions& node = IndexNodeOptions{});
+
+// --- Scenario registry --------------------------------------------------------
+//
+// Canonical named scenarios: the figure settings (standalone, bully tiers,
+// each isolation technique) plus the load-shape library (diurnal day, flash
+// crowd, burst train, ramp, closed-loop saturation). Keyed by name;
+// FindScenario returns NotFound for unknown names.
+
+std::vector<std::string> ScenarioNames();
+StatusOr<ScenarioSpec> FindScenario(const std::string& name);
+// Bench-main variant: aborts with the status message on an unknown name.
+ScenarioSpec MustFindScenario(const std::string& name);
+
+// Sweep runner: resolves each name in the registry and runs the single-box
+// specs through the parallel runner, returning results in input order.
+// Aborts on unknown names or cluster specs.
+std::vector<SingleBoxResult> RunNamedScenarios(const std::vector<std::string>& names);
+
+// --- Cluster scenarios --------------------------------------------------------
+
+// Builds ClusterOptions from a cluster spec (topology.columns > 0 required).
+ClusterOptions MakeClusterOptions(const ScenarioSpec& scenario);
+
+// Starts the spec's tenant mix and PerfIso config on every index node.
+// Aborts if PerfIso fails to start (mirrors RunSingleBox).
+void ApplyScenarioTenants(Cluster* cluster, const ScenarioSpec& scenario);
 
 // --- Parallel scenario runner ------------------------------------------------
 //
@@ -101,7 +151,7 @@ std::vector<Result> RunParallel(std::vector<std::function<Result()>> jobs) {
 
 // Runs single-box scenario rows in parallel (one isolated Simulator each);
 // results come back in input order.
-std::vector<SingleBoxResult> RunScenarios(const std::vector<SingleBoxScenario>& scenarios);
+std::vector<SingleBoxResult> RunScenarios(const std::vector<ScenarioSpec>& scenarios);
 
 // --- Machine-readable reports ------------------------------------------------
 //

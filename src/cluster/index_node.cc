@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/workload/scenario.h"
+
 namespace perfiso {
 
 IndexNodeRig::IndexNodeRig(Simulator* sim, const IndexNodeOptions& options,
@@ -61,6 +63,23 @@ void IndexNodeRig::StartNetworkBully(Fabric* fabric, int endpoint,
   network_bully_ = std::make_unique<NetworkBully>(sim_, machine_.get(), fabric, endpoint,
                                                   secondary_job_, options, rng_.Fork());
   network_bully_->Start();
+}
+
+void IndexNodeRig::StartTenants(const TenantMixSpec& mix) {
+  if (mix.cpu_bully_threads > 0) {
+    StartCpuBully(mix.cpu_bully_threads);
+  }
+  if (mix.disk_bully) {
+    StartDiskBully(DiskBully::Options{});
+  }
+  if (mix.hdfs_client) {
+    StartHdfsClient(HdfsClient::Options{});
+  }
+  if (mix.ml_training) {
+    MlTrainingJob::Options options;
+    options.worker_threads = mix.ml_worker_threads;
+    StartMlTraining(options);
+  }
 }
 
 Status IndexNodeRig::StartPerfIso(const PerfIsoConfig& config) {

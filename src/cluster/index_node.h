@@ -21,6 +21,8 @@
 
 namespace perfiso {
 
+struct TenantMixSpec;  // src/workload/scenario.h
+
 // I/O owner ids for secondary traffic on the shared HDD volume.
 inline constexpr int kIoOwnerDiskBully = 900;
 inline constexpr int kIoOwnerHdfsClient = 901;
@@ -46,6 +48,10 @@ class IndexNodeRig {
   void StartMlTraining(const MlTrainingJob::Options& options);
   // `endpoint` is this machine's id on `fabric` (the Cluster hands both out).
   void StartNetworkBully(Fabric* fabric, int endpoint, const NetworkBully::Options& options);
+  // Starts every tenant a declarative scenario names (CPU/disk bullies, HDFS
+  // client, ML training) with the module defaults; single-box and cluster
+  // rigs share this entry point.
+  void StartTenants(const TenantMixSpec& mix);
 
   // Attaches a PerfIso controller with `config` and starts its poll loops.
   Status StartPerfIso(const PerfIsoConfig& config);

@@ -1,5 +1,6 @@
 #include "src/perfiso/perfiso_config.h"
 
+#include <charconv>
 #include <set>
 
 namespace perfiso {
@@ -214,7 +215,14 @@ StatusOr<PerfIsoConfig> PerfIsoConfig::FromConfigMap(const ConfigMap& map) {
     if (id_end == std::string::npos) {
       return InvalidArgumentError("malformed io.owner key: " + key);
     }
-    owners.insert(std::stoi(key.substr(id_begin, id_end - id_begin)));
+    const std::string id_text = key.substr(id_begin, id_end - id_begin);
+    int owner = 0;
+    const auto parsed =
+        std::from_chars(id_text.data(), id_text.data() + id_text.size(), owner);
+    if (parsed.ec != std::errc() || parsed.ptr != id_text.data() + id_text.size()) {
+      return InvalidArgumentError("io.owner id is not an integer: " + key);
+    }
+    owners.insert(owner);
   }
   for (int owner : owners) {
     const std::string prefix = "io.owner." + std::to_string(owner) + ".";
@@ -236,6 +244,20 @@ StatusOr<PerfIsoConfig> PerfIsoConfig::FromConfigMap(const ConfigMap& map) {
     PERFISO_RETURN_IF_ERROR(guarantee.status());
     limit.min_iops_guarantee = *guarantee;
     config.io_limits.push_back(limit);
+  }
+  return config;
+}
+
+StatusOr<PerfIsoConfig> PerfIsoConfig::FromConfigMapStrict(const ConfigMap& map) {
+  auto config = FromConfigMap(map);
+  PERFISO_RETURN_IF_ERROR(config.status());
+  // Every key FromConfigMap understands reappears when the parsed config is
+  // re-serialized, so membership in the canonical form is exactly "known".
+  const ConfigMap canonical = config->ToConfigMap();
+  for (const auto& [key, value] : map.entries()) {
+    if (!canonical.Has(key)) {
+      return InvalidArgumentError("unknown PerfIso config key: " + key);
+    }
   }
   return config;
 }

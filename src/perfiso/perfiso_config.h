@@ -69,9 +69,14 @@ struct PerfIsoConfig {
   SimDuration io_poll_interval = FromMillis(100);
 
   // Serialization to/from the Autopilot config format. I/O limits use keys
-  // io.<owner>.bandwidth_bps etc.
+  // io.<owner>.bandwidth_bps etc. Unknown keys are ignored (a node must
+  // tolerate a config written by a newer rollout).
   ConfigMap ToConfigMap() const;
   static StatusOr<PerfIsoConfig> FromConfigMap(const ConfigMap& map);
+  // Strict variant for authoring surfaces (scenario specs, tests): any key
+  // FromConfigMap would ignore is an error, so typos fail loudly instead of
+  // silently running defaults.
+  static StatusOr<PerfIsoConfig> FromConfigMapStrict(const ConfigMap& map);
 
   // Validation used by the controller before applying.
   Status Validate(int num_cores) const;

@@ -1,6 +1,7 @@
 #include "src/util/config.h"
 
 #include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -88,10 +89,14 @@ void ConfigMap::SetString(const std::string& key, std::string value) {
 void ConfigMap::SetInt(const std::string& key, int64_t value) {
   entries_[key] = std::to_string(value);
 }
+std::string FormatDouble(double value) {
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
+}
+
 void ConfigMap::SetDouble(const std::string& key, double value) {
-  std::ostringstream out;
-  out << value;
-  entries_[key] = out.str();
+  entries_[key] = FormatDouble(value);
 }
 void ConfigMap::SetBool(const std::string& key, bool value) {
   entries_[key] = value ? "true" : "false";

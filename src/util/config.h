@@ -14,6 +14,11 @@
 
 namespace perfiso {
 
+// Shortest text that parses back to exactly `value` (std::to_chars): config
+// round trips must describe the same experiment, not a 6-digit neighbor.
+// Used by ConfigMap::SetDouble and every other serialized-double surface.
+std::string FormatDouble(double value);
+
 class ConfigMap {
  public:
   ConfigMap() = default;

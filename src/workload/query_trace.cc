@@ -25,30 +25,103 @@ std::vector<QueryWork> GenerateTrace(const TraceSpec& spec, size_t count, Rng* r
 }
 
 OpenLoopClient::OpenLoopClient(Simulator* sim, std::vector<QueryWork> trace,
-                               double queries_per_sec, Rng rng, SubmitFn submit)
-    : sim_(sim), trace_(std::move(trace)), rate_(queries_per_sec), rng_(rng),
+                               LoadShapeSpec shape, Rng rng, SubmitFn submit)
+    : sim_(sim), trace_(std::move(trace)), shape_(shape), rng_(rng),
       submit_(std::move(submit)) {
   assert(!trace_.empty());
-  assert(rate_ > 0);
+  assert(shape_.Validate().ok());
+  peak_rate_ = shape_.PeakRate();
+  assert(peak_rate_ > 0);
 }
+
+OpenLoopClient::OpenLoopClient(Simulator* sim, std::vector<QueryWork> trace,
+                               double queries_per_sec, Rng rng, SubmitFn submit)
+    : OpenLoopClient(sim, std::move(trace), ConstantLoad(queries_per_sec), rng,
+                     std::move(submit)) {}
 
 void OpenLoopClient::Run(SimTime start, SimDuration duration) {
+  start_time_ = start;
   end_time_ = start + duration;
-  ScheduleNext(start);
+  // The first arrival gets a drawn gap like every other one; submitting
+  // query #0 at exactly t=start would make the process non-Poisson at the
+  // window edge (and bias every short-run rate estimate upward).
+  ScheduleArrival(DrawNextArrival(start));
 }
 
-void OpenLoopClient::ScheduleNext(SimTime when) {
-  if (when >= end_time_) {
+SimTime OpenLoopClient::DrawNextArrival(SimTime from) {
+  // Thinning (Lewis & Shedler): candidate arrivals at the constant majorant
+  // peak_rate_, each accepted with probability rate(t)/peak. Constant shapes
+  // accept unconditionally, so they cost exactly one draw per arrival.
+  while (from < end_time_) {
+    const double gap_ns = rng_.Exponential(static_cast<double>(kSecond) / peak_rate_);
+    // Floor at 1 tick so time always advances (see the class comment for the
+    // bias bound).
+    from += std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(gap_ns)));
+    if (from >= end_time_) {
+      break;
+    }
+    const double rate = shape_.RateAt(from - start_time_);
+    if (rate >= peak_rate_ || rng_.NextDouble() * peak_rate_ < rate) {
+      return from;
+    }
+  }
+  return end_time_;
+}
+
+void OpenLoopClient::ScheduleArrival(SimTime at) {
+  if (at >= end_time_) {
     return;
   }
-  sim_->Schedule(when, [this, when] {
-    submit_(trace_[cursor_], when);
+  sim_->Schedule(at, [this, at] {
+    submit_(trace_[cursor_], at);
     ++submitted_;
     cursor_ = (cursor_ + 1) % trace_.size();
-    const SimDuration gap = static_cast<SimDuration>(
-        std::max(1.0, rng_.Exponential(static_cast<double>(kSecond) / rate_)));
-    ScheduleNext(when + gap);
+    ScheduleArrival(DrawNextArrival(at));
   });
+}
+
+ClosedLoopClient::ClosedLoopClient(Simulator* sim, std::vector<QueryWork> trace,
+                                   int outstanding, SimDuration think_time, Rng rng,
+                                   SubmitFn submit)
+    : sim_(sim), trace_(std::move(trace)), outstanding_(outstanding),
+      think_time_(think_time), rng_(rng), submit_(std::move(submit)) {
+  assert(!trace_.empty());
+  assert(outstanding_ > 0);
+  assert(think_time_ >= 0);
+}
+
+void ClosedLoopClient::Run(SimTime start, SimDuration duration) {
+  end_time_ = start + duration;
+  sim_->Schedule(start, [this] {
+    for (int user = 0; user < outstanding_; ++user) {
+      SubmitAfterThink();
+    }
+  });
+}
+
+void ClosedLoopClient::SubmitAfterThink() {
+  const double think_ns =
+      think_time_ > 0 ? rng_.Exponential(static_cast<double>(think_time_)) : 0;
+  const SimTime at =
+      sim_->Now() + std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(think_ns)));
+  if (at >= end_time_) {
+    return;
+  }
+  sim_->Schedule(at, [this, at] {
+    ++in_flight_;
+    ++submitted_;
+    const QueryWork& work = trace_[cursor_];
+    cursor_ = (cursor_ + 1) % trace_.size();
+    submit_(work, at);
+  });
+}
+
+void ClosedLoopClient::OnComplete() {
+  assert(in_flight_ > 0);
+  --in_flight_;
+  if (sim_->Now() < end_time_) {
+    SubmitAfterThink();
+  }
 }
 
 }  // namespace perfiso

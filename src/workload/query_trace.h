@@ -1,9 +1,18 @@
-// Synthetic query-trace generation and open-loop replay.
+// Synthetic query-trace generation and trace-replay clients.
 //
 // The paper replays a trace of 500k real Bing queries through an open-loop
 // client whose inter-arrival times follow a Poisson process (§5.3). Real
 // traces are proprietary, so we generate synthetic ones whose per-query
 // complexity distributions are the calibration knobs of the IndexServe model.
+//
+// Two clients replay a trace:
+//  - OpenLoopClient: arrivals follow a (possibly non-homogeneous) Poisson
+//    process described by a LoadShapeSpec, independent of completions. This
+//    is the paper's load model and the one every figure bench uses.
+//  - ClosedLoopClient: a fixed population of logical users, each submitting,
+//    waiting for its completion, thinking, and submitting again — the
+//    saturation-study model (throughput is completion-limited, latency
+//    feedback caps the offered load).
 #ifndef PERFISO_SRC_WORKLOAD_QUERY_TRACE_H_
 #define PERFISO_SRC_WORKLOAD_QUERY_TRACE_H_
 
@@ -14,6 +23,7 @@
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 #include "src/util/sim_time.h"
+#include "src/workload/load_shape.h"
 
 namespace perfiso {
 
@@ -37,31 +47,86 @@ struct TraceSpec {
 // Generates `count` queries with complexities drawn from `spec`.
 std::vector<QueryWork> GenerateTrace(const TraceSpec& spec, size_t count, Rng* rng);
 
-// Replays a trace in an open loop: queries are submitted at Poisson arrivals
-// of the given rate regardless of completions (§5.3). The trace wraps around
-// if the duration needs more queries than it holds.
+// Replays a trace in an open loop: queries are submitted at the arrivals of a
+// non-homogeneous Poisson process with intensity `shape` (§5.3), regardless
+// of completions. Arrivals are realized by thinning: candidate gaps are drawn
+// exponentially at the shape's peak rate and accepted with probability
+// rate(t)/peak, so any target intensity is matched without inversion. The
+// trace wraps around if the duration needs more queries than it holds.
+//
+// Every inter-arrival gap — including the one before the *first* query — is
+// drawn from the exponential; gaps are floored at 1 tick (1 ns) so simulated
+// time always advances. The floor biases the realized rate only when the mean
+// gap approaches a nanosecond (~1e9 QPS), far beyond anything modeled here.
 class OpenLoopClient {
  public:
   using SubmitFn = std::function<void(const QueryWork&, SimTime)>;
 
+  OpenLoopClient(Simulator* sim, std::vector<QueryWork> trace, LoadShapeSpec shape,
+                 Rng rng, SubmitFn submit);
+  // Constant-rate convenience (the original interface).
   OpenLoopClient(Simulator* sim, std::vector<QueryWork> trace, double queries_per_sec,
                  Rng rng, SubmitFn submit);
 
-  // Starts submitting at `start`, stopping after `duration`.
+  // Starts submitting at `start`, stopping after `duration`. Load-shape times
+  // are relative to `start`.
   void Run(SimTime start, SimDuration duration);
 
   uint64_t submitted() const { return submitted_; }
 
  private:
-  void ScheduleNext(SimTime now);
+  // Next accepted arrival strictly after `from`, or end_time_ if none.
+  SimTime DrawNextArrival(SimTime from);
+  void ScheduleArrival(SimTime at);
 
   Simulator* sim_;
   std::vector<QueryWork> trace_;
-  double rate_;
+  LoadShapeSpec shape_;
+  double peak_rate_ = 0;
+  Rng rng_;
+  SubmitFn submit_;
+  SimTime start_time_ = 0;
+  SimTime end_time_ = 0;
+  uint64_t submitted_ = 0;
+  size_t cursor_ = 0;
+};
+
+// Replays a trace in a closed loop: `outstanding` logical users each submit a
+// query, wait for the caller to signal its completion via OnComplete(), think
+// for an exponential time with mean `think_time`, and submit again. The
+// offered load self-limits to outstanding / (response_time + think_time) —
+// the saturation-study companion to the open-loop client.
+class ClosedLoopClient {
+ public:
+  using SubmitFn = std::function<void(const QueryWork&, SimTime)>;
+
+  ClosedLoopClient(Simulator* sim, std::vector<QueryWork> trace, int outstanding,
+                   SimDuration think_time, Rng rng, SubmitFn submit);
+
+  // Starts the user population at `start` (each user's first submission is
+  // preceded by one think time, desynchronizing the population), stopping new
+  // submissions after `duration`.
+  void Run(SimTime start, SimDuration duration);
+
+  // Must be called once per completed (or dropped) query; resubmits the
+  // user after its think time unless the run window has ended.
+  void OnComplete();
+
+  uint64_t submitted() const { return submitted_; }
+  int in_flight() const { return in_flight_; }
+
+ private:
+  void SubmitAfterThink();
+
+  Simulator* sim_;
+  std::vector<QueryWork> trace_;
+  int outstanding_;
+  SimDuration think_time_;
   Rng rng_;
   SubmitFn submit_;
   SimTime end_time_ = 0;
   uint64_t submitted_ = 0;
+  int in_flight_ = 0;
   size_t cursor_ = 0;
 };
 

@@ -6,6 +6,7 @@
 // this.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -40,15 +41,41 @@ void ExpectIdentical(const SingleBoxResult& a, const SingleBoxResult& b,
   EXPECT_EQ(a.secondary_progress, b.secondary_progress) << what;
   EXPECT_EQ(a.hedges, b.hedges) << what;
   EXPECT_EQ(a.queries, b.queries) << what;
+  EXPECT_EQ(a.latency_digest, b.latency_digest) << what;
 }
 
 SingleBoxScenario Fig04Style(double qps, int bully_threads) {
   SingleBoxScenario scenario;
-  scenario.qps = qps;
-  scenario.cpu_bully_threads = bully_threads;
+  scenario.load = ConstantLoad(qps);
+  scenario.tenants.cpu_bully_threads = bully_threads;
   scenario.measure = kSecond;  // keep the test quick; shape matches fig04
   return scenario;
 }
+
+// Restores an environment variable on scope exit, so a mid-test ASSERT
+// cannot leak a pinned value into later tests in the binary (and a caller's
+// own setting survives the test).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    old_value_ = had_old_ ? old : "";
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(name_, old_value_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_value_;
+};
 
 TEST(BenchDeterminismTest, Fig04StyleScenarioIsBitIdenticalAcrossRuns) {
   const SingleBoxScenario scenario = Fig04Style(2000, 24);
@@ -122,6 +149,83 @@ ClusterDigest RunFig09Style() {
   digest.tla = cluster.TlaLatency().Digest();
   digest.completed = cluster.queries_completed();
   return digest;
+}
+
+// The load-shape engine rides the same contract: shaped (thinned) arrival
+// streams and the closed-loop client are pure functions of the spec, so
+// registry scenarios run bit-identically on worker threads too. Run at a
+// reduced bench scale so ScaleScenarioForBench's timeline compression (the
+// spike, the bursts, the full diurnal period — all inside a ~1 s window) is
+// on the tested path.
+TEST(BenchDeterminismTest, ShapedScenariosParallelMatchesSequential) {
+  const char* kNames[] = {"diurnal-blind", "flash-crowd-no-isolation",
+                          "burst-train-blind", "closed-loop-saturation"};
+  std::vector<SingleBoxScenario> scenarios;
+  for (const char* name : kNames) {
+    auto spec = bench::FindScenario(name);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    scenarios.push_back(*spec);
+  }
+
+  const ScopedEnv scale_guard("PERFISO_BENCH_SCALE", "0.05");
+  const ScopedEnv threads_guard("PERFISO_BENCH_THREADS", "4");
+  const std::vector<SingleBoxResult> parallel = RunScenarios(scenarios);
+  ASSERT_EQ(setenv("PERFISO_BENCH_THREADS", "1", 1), 0);
+  const std::vector<SingleBoxResult> sequential = RunScenarios(scenarios);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    ExpectIdentical(parallel[i], sequential[i], kNames[i]);
+    EXPECT_GT(parallel[i].queries, 0) << kNames[i];
+  }
+}
+
+// --- Golden digests ----------------------------------------------------------
+//
+// Two named scenarios pinned at fixed seed/scale: a workload refactor that
+// silently changes simulation results (instead of just restructuring code)
+// trips these, because the latency digest hashes every sample in order.
+//
+// Update procedure (ONLY when a results-affecting change is intended, and
+// say so in the commit message):
+//   PERFISO_UPDATE_GOLDENS=1 ./bench_determinism_test \
+//       --gtest_filter='*PinnedScenario*'
+// prints the new table; paste it over kGoldens below. The values depend on
+// libm (exp/log/cos in the RNG and load shapes), so they are tied to the
+// toolchain the suite runs on; a digest mismatch after a compiler/libc bump
+// with no simulation change is update-worthy, not a regression.
+struct Golden {
+  const char* scenario;
+  uint64_t digest;
+  int64_t queries;
+};
+
+constexpr Golden kGoldens[] = {
+    {"diurnal-blind", 0x6a520f8c86032a81ULL, 2386},
+    {"flash-crowd-no-isolation", 0x2f584ed6577403cfULL, 8907},
+};
+
+TEST(GoldenDigestTest, PinnedScenarioDigests) {
+  // Fixed scale regardless of the caller's bench environment.
+  const ScopedEnv scale_guard("PERFISO_BENCH_SCALE", "1");
+
+  const bool update = std::getenv("PERFISO_UPDATE_GOLDENS") != nullptr;
+  for (const Golden& golden : kGoldens) {
+    auto spec = bench::FindScenario(golden.scenario);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    spec->measure = 3 * kSecond;  // fixed, fast window (flash spike at t=3s is inside)
+    const SingleBoxResult result = RunSingleBox(*spec);
+    if (update) {
+      std::printf("    {\"%s\", 0x%016llxULL, %lld},\n", golden.scenario,
+                  static_cast<unsigned long long>(result.latency_digest),
+                  static_cast<long long>(result.queries));
+      continue;
+    }
+    EXPECT_EQ(result.latency_digest, golden.digest)
+        << golden.scenario << ": digest changed — a workload refactor altered "
+        << "simulation results (see the update procedure above)";
+    EXPECT_EQ(result.queries, golden.queries) << golden.scenario;
+  }
 }
 
 TEST(BenchDeterminismTest, Fig09StyleClusterDigestsAreIdentical) {

@@ -18,12 +18,16 @@ struct DiskRunResult {
 
 // A node with an aggressive log profile (big entries, tiny buffer) so disk
 // contention has a short path to query latency, plus a large-block disk
-// bully. `protect` applies the paper's static caps + priority bands.
+// bully. `protect` applies the paper's static caps + priority bands. The log
+// volume (2,000 QPS x 16 KB = 32 MB/s on one 160 MB/s HDD, 8x the paper's)
+// is chosen to leave the bully-free path real headroom: at 64 MB/s the
+// system sits at the congestion-collapse threshold and whether a run wedges
+// becomes a coin flip on the arrival realization.
 DiskRunResult RunDiskScenario(bool with_bully, bool protect) {
   Simulator sim;
   IndexNodeOptions options;
   options.hdd_drives = 1;
-  options.indexserve.log_bytes_per_query = 32 * 1024;
+  options.indexserve.log_bytes_per_query = 16 * 1024;
   options.indexserve.log_flush_bytes = 128 * 1024;
   options.indexserve.log_buffer_cap_bytes = 512 * 1024;
   IndexNodeRig rig(&sim, options, "m0");
@@ -78,7 +82,7 @@ TEST(DiskInterferenceTest, PerfIsoDiskThrottlesProtectTheTail) {
   const DiskRunResult baseline = RunDiskScenario(false, false);
   const DiskRunResult protected_run = RunDiskScenario(true, true);
   // This scenario is deliberately harsher than the paper's (one HDD instead
-  // of four, 16x the log volume), so the shared disk runs near saturation
+  // of four, 8x the log volume), so the shared disk runs near saturation
   // even when throttled: allow a few ms instead of Fig. 9c's 1.2 ms, which
   // the paper-faithful configuration meets (see fig09_cluster).
   EXPECT_LT(protected_run.p99 - baseline.p99, 5.0);

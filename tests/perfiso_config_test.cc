@@ -84,6 +84,45 @@ TEST(PerfIsoConfigTest, BadPlacementRejected) {
   EXPECT_FALSE(PerfIsoConfig::FromConfigMap(map).ok());
 }
 
+TEST(PerfIsoConfigTest, StrictParseRejectsUnknownKeys) {
+  // The permissive parser ignores keys it does not understand...
+  ConfigMap map;
+  map.SetInt("cpu.buffer_cores", 6);
+  map.SetInt("cpu.bufer_cores", 12);  // typo
+  auto permissive = PerfIsoConfig::FromConfigMap(map);
+  ASSERT_TRUE(permissive.ok());
+  EXPECT_EQ(permissive->blind.buffer_cores, 6);
+
+  // ...while the strict parser used by authoring surfaces fails loudly.
+  EXPECT_FALSE(PerfIsoConfig::FromConfigMapStrict(map).ok());
+  ConfigMap clean;
+  clean.SetInt("cpu.buffer_cores", 6);
+  auto strict = PerfIsoConfig::FromConfigMapStrict(clean);
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  EXPECT_EQ(strict->blind.buffer_cores, 6);
+}
+
+TEST(PerfIsoConfigTest, MalformedIoOwnerIdIsAStatusErrorNotATerminate) {
+  // Text configs reach this path (scenario specs embed perfiso.* keys), so a
+  // non-numeric or overflowing owner id must come back as a Status.
+  ConfigMap map;
+  map.SetDouble("io.owner.ml.iops", 5);
+  EXPECT_FALSE(PerfIsoConfig::FromConfigMap(map).ok());
+
+  ConfigMap overflow;
+  overflow.SetDouble("io.owner.99999999999999999999.iops", 5);
+  EXPECT_FALSE(PerfIsoConfig::FromConfigMap(overflow).ok());
+}
+
+TEST(PerfIsoConfigTest, StrictParseAcceptsFullCanonicalForm) {
+  PerfIsoConfig config;
+  config.io_limits.push_back(IoOwnerLimit{901, 60e6, 0, 1, 2.0, 100});
+  auto strict = PerfIsoConfig::FromConfigMapStrict(config.ToConfigMap());
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  ASSERT_EQ(strict->io_limits.size(), 1u);
+  EXPECT_EQ(strict->io_limits[0].owner, 901);
+}
+
 TEST(PerfIsoConfigTest, ModeNamesRoundTrip) {
   for (CpuIsolationMode mode :
        {CpuIsolationMode::kNone, CpuIsolationMode::kBlindIsolation,

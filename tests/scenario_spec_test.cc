@@ -1,0 +1,255 @@
+// ScenarioSpec serialization: every workload.* knob must survive a
+// ToConfigMap/FromConfigMap round trip, unknown or inapplicable keys must be
+// rejected, and invalid shapes must come back as status errors (the
+// perfiso_config_test.cc pattern).
+#include "src/workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace perfiso {
+namespace {
+
+TEST(ScenarioSpecTest, OpenLoopDiurnalRoundTripsThroughConfigMap) {
+  ScenarioSpec spec;
+  spec.name = "unit-diurnal";
+  spec.load = DiurnalLoad(/*peak_qps=*/3500, /*period_sec=*/30, /*trough_fraction=*/0.25);
+  spec.client = ClientKind::kOpenLoop;
+  spec.tenants.cpu_bully_threads = 24;
+  spec.tenants.disk_bully = true;
+  spec.tenants.hdfs_client = true;
+  spec.tenants.ml_training = true;
+  spec.tenants.ml_worker_threads = 12;
+  spec.topology = TopologySpec{6, 3, 5};
+  spec.warmup = 2 * kSecond;
+  spec.measure = 12 * kSecond;
+  spec.trace_count = 4096;
+  spec.trace_seed = 99;
+  spec.client_seed = 11;
+  spec.node_seed = 13;
+  PerfIsoConfig config;
+  config.cpu_mode = CpuIsolationMode::kBlindIsolation;
+  config.blind.buffer_cores = 6;
+  config.io_limits.push_back(IoOwnerLimit{903, 100e6, 0, 2, 1.0, 0});
+  spec.perfiso = config;
+
+  auto parsed = ScenarioSpec::FromConfigMap(spec.ToConfigMap());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ScenarioSpec& back = *parsed;
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.load.kind, LoadShapeKind::kDiurnal);
+  EXPECT_DOUBLE_EQ(back.load.qps, spec.load.qps);
+  EXPECT_DOUBLE_EQ(back.load.diurnal_period_sec, spec.load.diurnal_period_sec);
+  EXPECT_DOUBLE_EQ(back.load.diurnal_trough_fraction, spec.load.diurnal_trough_fraction);
+  EXPECT_EQ(back.client, ClientKind::kOpenLoop);
+  EXPECT_EQ(back.tenants.cpu_bully_threads, spec.tenants.cpu_bully_threads);
+  EXPECT_EQ(back.tenants.disk_bully, spec.tenants.disk_bully);
+  EXPECT_EQ(back.tenants.hdfs_client, spec.tenants.hdfs_client);
+  EXPECT_EQ(back.tenants.ml_training, spec.tenants.ml_training);
+  EXPECT_EQ(back.tenants.ml_worker_threads, spec.tenants.ml_worker_threads);
+  EXPECT_EQ(back.topology.columns, spec.topology.columns);
+  EXPECT_EQ(back.topology.rows, spec.topology.rows);
+  EXPECT_EQ(back.topology.tla_machines, spec.topology.tla_machines);
+  EXPECT_EQ(back.warmup, spec.warmup);
+  EXPECT_EQ(back.measure, spec.measure);
+  EXPECT_EQ(back.trace_count, spec.trace_count);
+  EXPECT_EQ(back.trace_seed, spec.trace_seed);
+  EXPECT_EQ(back.client_seed, spec.client_seed);
+  EXPECT_EQ(back.node_seed, spec.node_seed);
+  ASSERT_TRUE(back.perfiso.has_value());
+  EXPECT_EQ(back.perfiso->cpu_mode, CpuIsolationMode::kBlindIsolation);
+  EXPECT_EQ(back.perfiso->blind.buffer_cores, 6);
+  ASSERT_EQ(back.perfiso->io_limits.size(), 1u);
+  EXPECT_EQ(back.perfiso->io_limits[0].owner, 903);
+  EXPECT_DOUBLE_EQ(back.perfiso->io_limits[0].bandwidth_bps, 100e6);
+}
+
+TEST(ScenarioSpecTest, ClosedLoopPiecewiseRoundTripsThroughConfigMap) {
+  ScenarioSpec spec;
+  spec.name = "unit-closed";
+  spec.load.kind = LoadShapeKind::kPiecewise;
+  spec.load.piecewise = {{0, 1000}, {5, 2500}, {10, 500}};
+  spec.client = ClientKind::kClosedLoop;
+  spec.closed.outstanding = 96;
+  spec.closed.think_time = FromMillis(2);
+
+  auto parsed = ScenarioSpec::FromConfigMap(spec.ToConfigMap());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->client, ClientKind::kClosedLoop);
+  EXPECT_EQ(parsed->closed.outstanding, 96);
+  EXPECT_EQ(parsed->closed.think_time, FromMillis(2));
+  ASSERT_EQ(parsed->load.piecewise.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->load.piecewise[1].at_sec, 5);
+  EXPECT_DOUBLE_EQ(parsed->load.piecewise[1].qps, 2500);
+  EXPECT_FALSE(parsed->perfiso.has_value());
+}
+
+TEST(ScenarioSpecTest, EveryShapeKindRoundTrips) {
+  for (LoadShapeKind kind :
+       {LoadShapeKind::kConstant, LoadShapeKind::kDiurnal, LoadShapeKind::kRamp,
+        LoadShapeKind::kFlashCrowd, LoadShapeKind::kSquareWave, LoadShapeKind::kPiecewise}) {
+    ScenarioSpec spec;
+    spec.load.kind = kind;
+    if (kind == LoadShapeKind::kPiecewise) {
+      spec.load.piecewise = {{0, 750}};
+    }
+    auto parsed = ScenarioSpec::FromConfigMap(spec.ToConfigMap());
+    ASSERT_TRUE(parsed.ok()) << LoadShapeKindName(kind) << ": "
+                             << parsed.status().ToString();
+    EXPECT_EQ(parsed->load.kind, kind);
+  }
+}
+
+TEST(ScenarioSpecTest, DefaultsFromEmptyMap) {
+  auto spec = ScenarioSpec::FromConfigMap(ConfigMap());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->load.kind, LoadShapeKind::kConstant);
+  EXPECT_DOUBLE_EQ(spec->load.qps, 2000);
+  EXPECT_EQ(spec->client, ClientKind::kOpenLoop);
+  EXPECT_EQ(spec->topology.columns, 0);  // single box
+  EXPECT_FALSE(spec->perfiso.has_value());
+}
+
+TEST(ScenarioSpecTest, UnknownKeysRejected) {
+  {
+    ConfigMap map;
+    map.SetDouble("workload.qsp", 100);  // typo
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetString("workload.isolation", "perfiso");
+    map.SetString("perfiso.cpu.modes", "blind");  // typo inside perfiso.*
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetDouble("cpu.buffer_cores", 8);  // outside workload./perfiso.
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+}
+
+TEST(ScenarioSpecTest, InapplicableKeysRejected) {
+  // A ramp knob on a constant-shape scenario would silently do nothing.
+  ConfigMap map;
+  map.SetString("workload.shape", "constant");
+  map.SetDouble("workload.ramp.end_qps", 4000);
+  EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+
+  // Closed-loop knobs on an open-loop scenario likewise.
+  ConfigMap closed;
+  closed.SetInt("workload.closed.outstanding", 8);
+  EXPECT_FALSE(ScenarioSpec::FromConfigMap(closed).ok());
+
+  // Piecewise rates come only from the table, so a qps knob is inapplicable
+  // (it would be silently ignored otherwise).
+  ConfigMap piecewise;
+  piecewise.SetString("workload.shape", "piecewise");
+  piecewise.SetString("workload.piecewise", "0:100");
+  piecewise.SetDouble("workload.qps", 500);
+  EXPECT_FALSE(ScenarioSpec::FromConfigMap(piecewise).ok());
+}
+
+TEST(ScenarioSpecTest, PerfIsoKeysWithoutIsolationRejected) {
+  ConfigMap map;
+  map.SetInt("perfiso.cpu.buffer_cores", 8);  // but workload.isolation = none
+  EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+}
+
+TEST(ScenarioSpecTest, InvalidShapesReturnStatusErrors) {
+  {
+    ConfigMap map;
+    map.SetDouble("workload.qps", -5);  // negative rate
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetString("workload.shape", "piecewise");
+    map.SetString("workload.piecewise", "");  // empty table
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetString("workload.shape", "piecewise");
+    map.SetString("workload.piecewise", "0:100,oops");  // malformed entry
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetString("workload.shape", "piecewise");
+    map.SetString("workload.piecewise", "0:100,5:2000,");  // trailing comma
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetString("workload.shape", "piecewise");
+    map.SetString("workload.piecewise", "0:100,,5:2000");  // empty entry
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetString("workload.shape", "square_wave");
+    map.SetDouble("workload.square.duty", 1.5);  // duty outside (0, 1)
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetString("workload.shape", "warble");  // unknown shape
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetInt("workload.trace.count", 0);
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+  {
+    ConfigMap map;
+    map.SetInt("workload.measure_ns", -1);
+    EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+  }
+}
+
+TEST(ScenarioSpecTest, ValidateChecksClientAndTopology) {
+  ScenarioSpec spec;
+  EXPECT_TRUE(spec.Validate().ok());
+
+  spec.closed.outstanding = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.closed.outstanding = 16;
+
+  spec.topology.columns = 4;
+  spec.topology.rows = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.topology.rows = 2;
+  EXPECT_TRUE(spec.Validate().ok());
+
+  spec.tenants.cpu_bully_threads = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(ScenarioSpecTest, ClientKindNamesRoundTrip) {
+  for (ClientKind kind : {ClientKind::kOpenLoop, ClientKind::kClosedLoop}) {
+    auto parsed = ParseClientKind(ClientKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseClientKind("half_open").ok());
+}
+
+// The serialized form is a plain Autopilot config file: text round trip too.
+TEST(ScenarioSpecTest, SurvivesTextSerialization) {
+  ScenarioSpec spec;
+  spec.name = "text-trip";
+  spec.load = FlashCrowdLoad(1500, 6000, 3, 1);
+  spec.tenants.cpu_bully_threads = 48;
+
+  auto reparsed_map = ConfigMap::Parse(spec.ToConfigMap().Serialize());
+  ASSERT_TRUE(reparsed_map.ok()) << reparsed_map.status().ToString();
+  auto parsed = ScenarioSpec::FromConfigMap(*reparsed_map);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->load.kind, LoadShapeKind::kFlashCrowd);
+  EXPECT_DOUBLE_EQ(parsed->load.flash_spike_qps, 6000);
+  EXPECT_EQ(parsed->tenants.cpu_bully_threads, 48);
+}
+
+}  // namespace
+}  // namespace perfiso

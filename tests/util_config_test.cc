@@ -61,6 +61,24 @@ TEST(ConfigTest, SerializeRoundTrip) {
   EXPECT_EQ(reparsed->entries(), config.entries());
 }
 
+TEST(ConfigTest, DoubleRoundTripIsBitExact) {
+  // SetDouble writes the shortest text that parses back to the identical
+  // double — a serialized scenario must describe the same experiment, not a
+  // 6-significant-digit neighbor.
+  ConfigMap config;
+  for (double value : {2000.125, 0.123456789012345, 1.0 / 3.0, 5e8, 160e6}) {
+    config.SetDouble("v", value);
+    auto reparsed = ConfigMap::Parse(config.Serialize());
+    ASSERT_TRUE(reparsed.ok());
+    auto back = reparsed->GetDouble("v", 0);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, value);
+  }
+  // Friendly values still serialize compactly.
+  config.SetDouble("v", 0.25);
+  EXPECT_EQ(config.entries().at("v"), "0.25");
+}
+
 TEST(ConfigTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/perfiso_config_test.cfg";
   ConfigMap config;

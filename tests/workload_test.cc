@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/sim/machine.h"
 #include "src/sim/simulator.h"
 #include "src/util/stats.h"
@@ -71,17 +74,145 @@ TEST(OpenLoopClientTest, RateIsApproximatelyPoisson) {
   EXPECT_NEAR(gaps.StdDev() / gaps.Mean(), 1.0, 0.1);
 }
 
-TEST(OpenLoopClientTest, WrapsTraceWhenExhausted) {
+TEST(OpenLoopClientTest, WrapsTraceWithIdenticalQueryWork) {
   Simulator sim;
   Rng rng(5);
   auto trace = GenerateTrace(TraceSpec{}, 10, &rng);
-  std::vector<uint64_t> ids;
+  std::vector<QueryWork> submitted;
   OpenLoopClient client(&sim, trace, 1000, Rng(6),
-                        [&](const QueryWork& q, SimTime) { ids.push_back(q.id); });
+                        [&](const QueryWork& q, SimTime) { submitted.push_back(q); });
   client.Run(0, kSecond);
   sim.RunUntilEmpty();
-  ASSERT_GT(ids.size(), 20u);
-  EXPECT_EQ(ids[0], ids[10]);  // wrapped around
+  ASSERT_GT(submitted.size(), 20u);
+  // Wraparound must replay the *same work*, not just the same ids: every
+  // submission i equals trace[i % 10] field for field.
+  for (size_t i = 0; i < submitted.size(); ++i) {
+    const QueryWork& expected = trace[i % trace.size()];
+    EXPECT_EQ(submitted[i].id, expected.id) << i;
+    EXPECT_EQ(submitted[i].fanout, expected.fanout) << i;
+    EXPECT_DOUBLE_EQ(submitted[i].size_factor, expected.size_factor) << i;
+    EXPECT_EQ(submitted[i].seed, expected.seed) << i;
+  }
+}
+
+// Regression for the first-arrival bug: ScheduleNext used to submit query #0
+// at exactly t=start with no exponential gap, so every run began with a
+// deterministic arrival and short-window rate estimates were biased high.
+TEST(OpenLoopClientTest, FirstArrivalGetsAnExponentialGap) {
+  // Across many seeds the first-arrival time must behave like Exp(1/rate):
+  // mean 1/rate, and essentially never exactly at t=start.
+  const double kRate = 1000;
+  MeanVar first_arrivals;
+  int at_start = 0;
+  for (uint64_t seed = 0; seed < 400; ++seed) {
+    Simulator sim;
+    Rng rng(9);
+    auto trace = GenerateTrace(TraceSpec{}, 4, &rng);
+    SimTime first = -1;
+    OpenLoopClient client(&sim, std::move(trace), kRate, Rng(seed + 1),
+                          [&first](const QueryWork&, SimTime now) {
+                            if (first < 0) {
+                              first = now;
+                            }
+                          });
+    client.Run(0, kSecond);
+    sim.RunUntilEmpty();
+    ASSERT_GE(first, 0) << "no arrival in a 1 s window at 1000 QPS";
+    at_start += first == 0 ? 1 : 0;
+    first_arrivals.Add(static_cast<double>(first));
+  }
+  EXPECT_EQ(at_start, 0) << "first query submitted at exactly t=start";
+  // Mean of Exp(1 ms) over 400 draws: sd of the mean is 1ms/20.
+  EXPECT_NEAR(first_arrivals.Mean(), static_cast<double>(kMillisecond),
+              0.2 * static_cast<double>(kMillisecond));
+}
+
+// The documented 1-tick floor: at absurd rates every drawn gap rounds to 0
+// and clamps to 1 ns, so arrivals advance one tick at a time instead of
+// stacking at one timestamp (and instead of the old max(1.0, gap) clamp
+// biasing moderate-rate draws, the floor only binds at ~1e9 QPS).
+TEST(OpenLoopClientTest, GapsAreFlooredAtOneTick) {
+  Simulator sim;
+  Rng rng(10);
+  auto trace = GenerateTrace(TraceSpec{}, 8, &rng);
+  std::vector<SimTime> arrivals;
+  OpenLoopClient client(&sim, std::move(trace), /*qps=*/1e12, Rng(11),
+                        [&](const QueryWork&, SimTime now) { arrivals.push_back(now); });
+  client.Run(0, kMicrosecond);
+  sim.RunUntilEmpty();
+  // One arrival per nanosecond tick, none before t=1.
+  ASSERT_EQ(arrivals.size(), static_cast<size_t>(kMicrosecond) - 1);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i], static_cast<SimTime>(i + 1));
+  }
+}
+
+// At moderate rates the floor must not bias the realized rate (the old
+// max(1.0, gap) clamp added a full nanosecond to a measurable fraction of
+// draws at high-but-realistic rates).
+TEST(OpenLoopClientTest, RealizedRateIsUnbiasedAtHighRate) {
+  Simulator sim;
+  Rng rng(12);
+  auto trace = GenerateTrace(TraceSpec{}, 64, &rng);
+  uint64_t submitted = 0;
+  OpenLoopClient client(&sim, std::move(trace), /*qps=*/1e6, Rng(13),
+                        [&](const QueryWork&, SimTime) { ++submitted; });
+  client.Run(0, kSecond);
+  sim.RunUntilEmpty();
+  // 1e6 expected arrivals, Poisson sd 1e3: 4 sigma.
+  EXPECT_NEAR(static_cast<double>(submitted), 1e6, 4e3);
+}
+
+TEST(ClosedLoopClientTest, KeepsAtMostOutstandingInFlight) {
+  Simulator sim;
+  Rng rng(14);
+  auto trace = GenerateTrace(TraceSpec{}, 16, &rng);
+  ClosedLoopClient* client_ptr = nullptr;
+  std::vector<SimTime> completions;
+  int in_flight = 0;
+  int max_in_flight = 0;
+  ClosedLoopClient client(&sim, std::move(trace), /*outstanding=*/4,
+                          /*think_time=*/FromMillis(1), Rng(15),
+                          [&](const QueryWork&, SimTime now) {
+                            ++in_flight;
+                            max_in_flight = std::max(max_in_flight, in_flight);
+                            // Serve each query 500 us later.
+                            sim.Schedule(now + 500 * kMicrosecond, [&] {
+                              --in_flight;
+                              completions.push_back(sim.Now());
+                              client_ptr->OnComplete();
+                            });
+                          });
+  client_ptr = &client;
+  client.Run(0, kSecond);
+  sim.RunUntilEmpty();
+  EXPECT_LE(max_in_flight, 4);
+  EXPECT_GT(client.submitted(), 100u);
+  // Per-user cycle = think (1 ms mean) + service (0.5 ms): ~2,667 completions
+  // from 4 users in one second; generous bounds to stay seed-robust.
+  EXPECT_GT(completions.size(), 1500u);
+  EXPECT_LT(completions.size(), 4000u);
+  EXPECT_EQ(client.in_flight(), 0);
+}
+
+TEST(ClosedLoopClientTest, StopsSubmittingAfterWindowEnds) {
+  Simulator sim;
+  Rng rng(16);
+  auto trace = GenerateTrace(TraceSpec{}, 16, &rng);
+  ClosedLoopClient* client_ptr = nullptr;
+  ClosedLoopClient client(&sim, std::move(trace), /*outstanding=*/2,
+                          /*think_time=*/FromMillis(1), Rng(17),
+                          [&](const QueryWork&, SimTime now) {
+                            sim.Schedule(now + 100 * kMicrosecond,
+                                         [&] { client_ptr->OnComplete(); });
+                          });
+  client_ptr = &client;
+  client.Run(0, 100 * kMillisecond);
+  sim.RunUntil(100 * kMillisecond);
+  const uint64_t at_window_end = client.submitted();
+  sim.RunUntilEmpty();
+  // In-flight queries may still complete, but no new submissions start.
+  EXPECT_EQ(client.submitted(), at_window_end);
 }
 
 TEST(CpuBullyTest, ProgressTracksCpuTime) {
