@@ -96,7 +96,9 @@ class DiskDevice {
   // busy_ns_ up front (the unserved remainder is rolled back on cancel).
   // Slots recycle via free_slots_.
   struct InFlight {
-    EventHandle done_event;
+    // Lifecycle owned by DiskDevice: completion resets the slot, CancelAll
+    // pulls every armed event before reuse.
+    EventHandle done_event;  // NOLINT(perfiso-LIFE-001)
     SimTime started = 0;
     SimDuration service = 0;
   };

@@ -249,9 +249,14 @@ void IoScheduler::Pump() {
   // the queue eagerly.
   if (earliest_retry != std::numeric_limits<SimTime>::max() &&
       outstanding_ < max_outstanding_) {
-    sim_->ScheduleOrTighten(retry_event_, earliest_retry, [this] { Pump(); });
+    // The wake clears its own handle on firing so no stale handle lingers
+    // once the slot goes back to the slab.
+    sim_->ScheduleOrTighten(retry_event_, earliest_retry, [this] {
+      retry_event_ = EventHandle();
+      Pump();
+    });
   } else {
-    sim_->Cancel(retry_event_);
+    sim_->CancelOwned(retry_event_);
   }
 }
 

@@ -34,6 +34,10 @@ class IoScheduler {
   // letting low-priority work swamp their internal queues.
   IoScheduler(Simulator* sim, StripedVolume* volume, int max_outstanding);
 
+  // The token-bucket wake captures `this`; a scheduler torn down with
+  // bucket-blocked requests must take the armed wake with it.
+  ~IoScheduler() { sim_->CancelOwned(retry_event_); }
+
   IoScheduler(const IoScheduler&) = delete;
   IoScheduler& operator=(const IoScheduler&) = delete;
 

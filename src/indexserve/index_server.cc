@@ -121,8 +121,7 @@ bool IndexServer::ExpireIfOverdue(const std::shared_ptr<QueryState>& q) {
 
 void IndexServer::CancelHedges(const std::shared_ptr<QueryState>& q) {
   for (EventHandle& hedge : q->hedge_events) {
-    machine_->sim()->Cancel(hedge);
-    hedge = EventHandle{};
+    machine_->sim()->CancelOwned(hedge);
   }
 }
 
@@ -187,6 +186,9 @@ void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bo
   if (!is_hedge && config_.hedging_enabled) {
     q->hedge_events[static_cast<size_t>(chunk)] =
         machine_->sim()->ScheduleAfter(config_.hedge_delay, [this, q, chunk] {
+          // The timer just fired; clear the stored handle so a later
+          // ChunkDone/CancelHedges pass cannot poke at the recycled slot.
+          q->hedge_events[static_cast<size_t>(chunk)] = EventHandle();
           const bool budget_ok =
               static_cast<double>(stats_.hedges_issued) <
               config_.hedge_budget_fraction * static_cast<double>(chunks_started_);
@@ -206,8 +208,9 @@ void IndexServer::ChunkDone(const std::shared_ptr<QueryState>& q, int chunk) {
   }
   q->chunk_done[static_cast<size_t>(chunk)] = true;
   // The lookup beat its hedge timer (the common case): pull the timer out of
-  // the event queue instead of letting it fire as a dead no-op.
-  machine_->sim()->Cancel(q->hedge_events[static_cast<size_t>(chunk)]);
+  // the event queue instead of letting it fire as a dead no-op, and drop the
+  // handle so the eventual CancelHedges sweep doesn't cancel it twice.
+  machine_->sim()->CancelOwned(q->hedge_events[static_cast<size_t>(chunk)]);
   if (--q->chunks_left == 0) {
     StartRank(q);
   }

@@ -74,8 +74,13 @@ void Link::Pump() {
       const SimTime available = bucket->NextAvailable(static_cast<double>(chunk), now);
       if (available > now) {
         // Arm the wake, or pull an armed one earlier when PerfIso raised the
-        // cap (or the head shrank) and tokens are due sooner.
-        sim_->ScheduleOrTighten(retry_event_, available, [this] { Pump(); });
+        // cap (or the head shrank) and tokens are due sooner. The callback
+        // drops its own handle first: it has just fired, and a lingering
+        // stale handle would alias whatever recycles the slot.
+        sim_->ScheduleOrTighten(retry_event_, available, [this] {
+          retry_event_ = EventHandle();
+          Pump();
+        });
         return;
       }
       bucket->ForceConsume(static_cast<double>(chunk), now);
@@ -83,7 +88,7 @@ void Link::Pump() {
   }
   // A chunk is going out, and its completion re-pumps; a pending bucket wake
   // is stale, so remove it from the queue eagerly.
-  sim_->Cancel(retry_event_);
+  sim_->CancelOwned(retry_event_);
   busy_ = true;
   const auto tx_time = static_cast<SimDuration>(static_cast<double>(chunk) / rate_bps_ *
                                                 static_cast<double>(kSecond));

@@ -46,6 +46,10 @@ class Link {
   Link(Simulator* sim, double rate_bps, int64_t chunk_bytes, Discipline discipline,
        std::string name);
 
+  // A Link may die with a token-starved wake still armed (e.g. a fabric torn
+  // down mid-run); the wake captures `this`, so it must not outlive us.
+  ~Link() { sim_->CancelOwned(retry_event_); }
+
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 

@@ -70,7 +70,7 @@ Status SimMachine::SetJobAffinity(JobId job_id, const CpuSet& mask) {
     const CpuSet eff = EffectiveAffinity(t);
     if (t.state == Thread::State::kRunning && !eff.Test(t.core)) {
       ChargeRun(t);
-      sim_->Cancel(t.slice_event);
+      sim_->CancelOwned(t.slice_event);
       ++metrics_.preemptions;
       NoteStopRunning(t);
       cores_[static_cast<size_t>(t.core)].running = -1;
@@ -117,7 +117,7 @@ Status SimMachine::SetJobCpuRateCap(JobId job_id, double fraction) {
   Job& job = jobs_[static_cast<size_t>(job_id.value)];
   job.rate_cap = fraction;
   if (fraction <= 0) {
-    sim_->Cancel(job.exhaust_event);  // uncapped: a pending budget check is moot
+    sim_->CancelOwned(job.exhaust_event);  // uncapped: a pending budget check is moot
     if (job.throttled) {
       UnthrottleJob(job_id.value);
     }
@@ -141,8 +141,8 @@ Status SimMachine::KillJob(JobId job_id) {
   used_memory_bytes_ -= job.memory_bytes;
   job.memory_bytes = 0;
   job.live = false;
-  sim_->Cancel(job.exhaust_event);
-  sim_->Cancel(job.unthrottle_event);
+  sim_->CancelOwned(job.exhaust_event);
+  sim_->CancelOwned(job.unthrottle_event);
   return OkStatus();
 }
 
@@ -254,7 +254,7 @@ Status SimMachine::SetThreadAffinity(ThreadId tid, const CpuSet& mask) {
   if (t.state == Thread::State::kRunning && !eff.Test(t.core)) {
     const int core = t.core;
     ChargeRun(t);
-    sim_->Cancel(t.slice_event);
+    sim_->CancelOwned(t.slice_event);
     ++metrics_.preemptions;
     NoteStopRunning(t);
     cores_[static_cast<size_t>(core)].running = -1;
@@ -353,7 +353,7 @@ Status SimMachine::SetJobSuspended(JobId job_id, bool suspended) {
         continue;
       }
       ChargeRun(t);
-      sim_->Cancel(t.slice_event);
+      sim_->CancelOwned(t.slice_event);
       ++metrics_.preemptions;
       NoteStopRunning(t);
       const int core = t.core;
@@ -412,7 +412,7 @@ SimDuration SimMachine::InflightWork(const Job& job) const {
 void SimMachine::ScheduleExhaustCheck(int job_id) {
   Job& job = jobs_[static_cast<size_t>(job_id)];
   if (!job.live || job.rate_cap <= 0 || job.throttled || job.running_count <= 0) {
-    sim_->Cancel(job.exhaust_event);  // a pending check (if any) is now moot
+    sim_->CancelOwned(job.exhaust_event);  // a pending check (if any) is now moot
     return;
   }
   const SimDuration left = RateBudgetLeft(job) - InflightWork(job);
@@ -427,6 +427,9 @@ void SimMachine::ScheduleExhaustCheck(int job_id) {
 }
 
 void SimMachine::OnExhaustCheck(int job_id) {
+  // This callback is the exhaust event firing: drop the now-stale handle
+  // before recomputing, so it never lingers past the slot's recycle.
+  jobs_[static_cast<size_t>(job_id)].exhaust_event = EventHandle();
   ScheduleExhaustCheck(job_id);  // recomputes: throttles now or re-arms later
 }
 
@@ -581,6 +584,10 @@ void SimMachine::OnSliceEnd(int core, int tid) {
   // stale slice end can never fire.
   Thread& t = threads_[static_cast<size_t>(tid)];
   assert(t.state == Thread::State::kRunning && t.core == core);
+  // This callback is the slice event firing: drop the stale handle now. The
+  // yield path below parks the thread as kReady without re-arming, and a
+  // later kill must not poke at a recycled slot through the old handle.
+  t.slice_event = EventHandle();
   ChargeRun(t);
 
   if (!t.loop && t.remaining <= 0) {
@@ -705,7 +712,7 @@ void SimMachine::ThrottleJob(int job_id) {
     return;
   }
   job.throttled = true;
-  sim_->Cancel(job.exhaust_event);  // budget checks are moot while throttled
+  sim_->CancelOwned(job.exhaust_event);  // budget checks are moot while throttled
   std::vector<int> freed_cores;
   for (int tid : job.threads) {
     Thread& t = threads_[static_cast<size_t>(tid)];
@@ -713,7 +720,7 @@ void SimMachine::ThrottleJob(int job_id) {
       continue;
     }
     ChargeRun(t);
-    sim_->Cancel(t.slice_event);
+    sim_->CancelOwned(t.slice_event);
     ++metrics_.preemptions;
     NoteStopRunning(t);
     const int core = t.core;
@@ -742,7 +749,9 @@ void SimMachine::UnthrottleJob(int job_id) {
   job.throttled = false;
   // When called directly (cap removed mid-interval), the armed end-of-interval
   // unthrottle is stale; remove it instead of letting it fire as a no-op.
-  sim_->Cancel(job.unthrottle_event);
+  // When this *is* the unthrottle event firing, the cancel is a benign no-op
+  // and the reset drops the fired handle before its slot can recycle.
+  sim_->CancelOwned(job.unthrottle_event);
   if (!job.live) {
     return;
   }
@@ -775,8 +784,7 @@ void SimMachine::KickIdleCores(const CpuSet& mask) {
 
 void SimMachine::FinishThread(int tid, bool run_callback) {
   Thread& t = threads_[static_cast<size_t>(tid)];
-  sim_->Cancel(t.slice_event);  // no-op on the completion path (already fired)
-  t.slice_event = EventHandle();
+  sim_->CancelOwned(t.slice_event);  // no-op on the completion path (already fired + cleared)
   t.state = Thread::State::kFinished;
   if (t.job >= 0) {
     auto& siblings = jobs_[static_cast<size_t>(t.job)].threads;

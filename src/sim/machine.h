@@ -197,7 +197,8 @@ class SimMachine {
     CompletionFn on_complete;
     // The pending end-of-slice event while kRunning. Preemption and kill
     // cancel it eagerly, so a stale slice event never sits in the queue.
-    EventHandle slice_event;
+    // Lifecycle owned by SimMachine (CancelOwned on every transition).
+    EventHandle slice_event;  // NOLINT(perfiso-LIFE-001)
     int core = -1;         // running core, or queued-on core when kReady in a queue
     bool queued = false;   // kReady and sitting in a core's ready queue
     SimTime ready_since = 0;
@@ -218,9 +219,10 @@ class SimMachine {
     int running_count = 0;        // running threads (tracked for capped jobs)
     // The single pending budget-exhaustion check for a capped job; an earlier
     // deadline tightens it in place instead of stacking a second event.
-    EventHandle exhaust_event;
+    // Lifecycle owned by SimMachine (CancelOwned on kill/uncap/throttle).
+    EventHandle exhaust_event;  // NOLINT(perfiso-LIFE-001)
     // Pending end-of-interval unthrottle while `throttled`.
-    EventHandle unthrottle_event;
+    EventHandle unthrottle_event;  // NOLINT(perfiso-LIFE-001)
     SimDuration cpu_time = 0;
     int64_t memory_bytes = 0;
     std::vector<int> threads;  // live thread ids (unsorted)

@@ -1,10 +1,48 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/util/logging.h"
 
 namespace perfiso {
+
+namespace {
+
+// Engine-validation failures abort: a violated invariant means the simulation
+// state is already unreliable, and the determinism contract makes limping on
+// worse than dying loudly. The "SimSan:" prefix is what the death tests match.
+[[noreturn]] void EngineDie(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "SimSan: %s: %s\n", what, detail.c_str());
+  std::abort();
+}
+
+#ifdef PERFISO_SIMSAN
+constexpr unsigned char kSimSanPoisonByte = 0xA5;
+#endif
+
+}  // namespace
+
+#ifdef PERFISO_SIMSAN
+void EventCallback::SimSanPoison() {
+  assert(invoke_ == nullptr);
+  std::memset(inline_buf_, kSimSanPoisonByte, kInlineBytes);
+}
+
+bool EventCallback::SimSanPoisonIntact() const {
+  if (invoke_ != nullptr || destroy_ != nullptr || heap_ != nullptr) {
+    return false;
+  }
+  for (unsigned char byte : inline_buf_) {
+    if (byte != kSimSanPoisonByte) {
+      return false;
+    }
+  }
+  return true;
+}
+#endif
 
 Simulator::~Simulator() = default;
 
@@ -29,14 +67,80 @@ uint32_t Simulator::AllocSlot() {
     // Push in descending order so slots hand out in ascending id order.
     for (uint32_t i = kSlabSize; i > 0; --i) {
       free_ids_.push_back(base + i - 1);
+#ifdef PERFISO_SIMSAN
+      Event& fresh = Rec(base + i - 1);
+      fresh.cb.SimSanPoison();
+      fresh.simsan_in_free_list = true;
+#endif
     }
   }
   const uint32_t id = free_ids_.back();
   free_ids_.pop_back();
+#ifdef PERFISO_SIMSAN
+  Event& e = Rec(id);
+  if (!e.cb.SimSanPoisonIntact()) {
+    EngineDie("use-after-recycle",
+              "freed event record " + std::to_string(id) +
+                  " was written while on the free list (stale reference scribble)");
+  }
+  e.simsan_in_free_list = false;
+#endif
   return id;
 }
 
-void Simulator::FreeSlot(uint32_t id) { free_ids_.push_back(id); }
+void Simulator::FreeSlot(uint32_t id) {
+#ifdef PERFISO_SIMSAN
+  Event& e = Rec(id);
+  if (e.simsan_in_free_list) {
+    EngineDie("double-free", "event slot " + std::to_string(id) + " freed twice");
+  }
+  e.cb.SimSanPoison();
+  e.simsan_in_free_list = true;
+#endif
+  free_ids_.push_back(id);
+}
+
+#ifdef PERFISO_SIMSAN
+void Simulator::SimSanNoteEnded(Event& e, uint8_t how) {
+  e.simsan_ended_gen = e.gen;  // the generation outstanding handles carry
+  e.simsan_ended_how = how;
+}
+
+void Simulator::SimSanDiagnoseStale(EventHandle handle, const char* op) const {
+  if (handle.id_ == EventHandle::kInvalidId) {
+    return;  // default-constructed handles are inert by design
+  }
+  const uint32_t capacity = static_cast<uint32_t>(slabs_.size()) << kSlabBits;
+  if (handle.id_ >= capacity) {
+    EngineDie(op, "EventHandle id " + std::to_string(handle.id_) +
+                      " is out of range (handle from another Simulator, or corrupt)");
+  }
+  const Event& e = Rec(handle.id_);
+  const std::string where = "slot " + std::to_string(handle.id_) + " handle-gen " +
+                            std::to_string(handle.gen_) + " slot-gen " + std::to_string(e.gen) +
+                            " at t=" + std::to_string(now_);
+  if (e.heap_pos >= 0) {
+    // The slot is armed again under a different generation: the caller's
+    // event is long gone and this handle now aliases someone else's event.
+    // Without generation counters this would cancel a stranger's event.
+    EngineDie("stale-handle-after-recycle",
+              std::string(op) + " through a handle whose slot was recycled and re-armed (" +
+                  where + "); the owner must clear its handle when the event fires "
+                  "(use Simulator::CancelOwned / reset stored handles)");
+  }
+  if (e.gen - handle.gen_ > 1) {
+    EngineDie("stale-handle-after-recycle",
+              std::string(op) + " through a handle whose slot was recycled (" + where + ")");
+  }
+  // e.gen == handle.gen_ + 1: the handle's own event ended exactly once since
+  // the handle was minted. Fired is the documented benign-stale case;
+  // cancelled means the caller is cancelling (or moving) the same event twice.
+  if (e.simsan_ended_how == Event::kEndedCancelled) {
+    EngineDie("double-cancel", std::string(op) + " through a handle that was already "
+                                   "cancelled (" + where + ")");
+  }
+}
+#endif
 
 Simulator::Event* Simulator::Lookup(EventHandle handle) {
   return const_cast<Event*>(std::as_const(*this).Lookup(handle));
@@ -58,10 +162,16 @@ bool Simulator::Pending(EventHandle handle) const { return Lookup(handle) != nul
 bool Simulator::Cancel(EventHandle handle) {
   Event* e = Lookup(handle);
   if (e == nullptr) {
+#ifdef PERFISO_SIMSAN
+    SimSanDiagnoseStale(handle, "Cancel");
+#endif
     return false;
   }
   HeapRemoveAt(static_cast<size_t>(e->heap_pos));
   e->heap_pos = -1;
+#ifdef PERFISO_SIMSAN
+  SimSanNoteEnded(*e, Event::kEndedCancelled);
+#endif
   ++e->gen;  // any copies of the handle go stale
   e->cb.Reset();
   FreeSlot(handle.id_);
@@ -72,6 +182,9 @@ bool Simulator::Cancel(EventHandle handle) {
 bool Simulator::Reschedule(EventHandle handle, SimTime when) {
   Event* e = Lookup(handle);
   if (e == nullptr) {
+#ifdef PERFISO_SIMSAN
+    SimSanDiagnoseStale(handle, "Reschedule");
+#endif
     return false;
   }
   HeapRemoveAt(static_cast<size_t>(e->heap_pos));
@@ -91,15 +204,89 @@ bool Simulator::Step() {
   now_ = e.time;
   HeapRemoveAt(0);
   e.heap_pos = -1;
+#ifdef PERFISO_SIMSAN
+  SimSanNoteEnded(e, Event::kEndedFired);
+#endif
   ++e.gen;  // the handle is stale from the moment the callback runs
   ++stats_.events_executed;
   // The record's slab address is stable, so the callback may freely schedule
   // (growing the pool) or cancel other events while it runs. Its own slot is
   // recycled only after the callback finishes and is destroyed.
+#ifdef PERFISO_SIMSAN
+  simsan_in_callback_ = true;
+#endif
   e.cb.Invoke();
+#ifdef PERFISO_SIMSAN
+  simsan_in_callback_ = false;
+#endif
   e.cb.Reset();
   FreeSlot(id);
+#ifdef PERFISO_SIMSAN
+  if (stats_.events_executed % kSimSanSweepInterval == 0) {
+    CheckEngineInvariants();
+  }
+#endif
   return true;
+}
+
+void Simulator::CheckEngineInvariants() const {
+  // Heap property and record back-pointers.
+  for (size_t pos = 0; pos < heap_.size(); ++pos) {
+    const HeapItem& item = heap_[pos];
+    if (pos > 0 && Before(item, heap_[(pos - 1) >> 2])) {
+      EngineDie("heap-property", "heap position " + std::to_string(pos) +
+                                     " orders before its parent");
+    }
+    const Event& e = Rec(item.id);
+    if (e.heap_pos != static_cast<int32_t>(pos)) {
+      EngineDie("heap-backpointer", "record " + std::to_string(item.id) + " heap_pos " +
+                                        std::to_string(e.heap_pos) + " != position " +
+                                        std::to_string(pos));
+    }
+    if (e.time != item.time || e.seq != item.seq) {
+      EngineDie("heap-key-mismatch",
+                "record " + std::to_string(item.id) + " (time, seq) disagrees with its heap item");
+    }
+    if (!e.cb.armed()) {
+      EngineDie("unarmed-pending-event",
+                "record " + std::to_string(item.id) + " is queued without a callback");
+    }
+    if (e.time < now_) {
+      EngineDie("time-travel", "record " + std::to_string(item.id) + " is queued at t=" +
+                                   std::to_string(e.time) + " < Now()=" + std::to_string(now_));
+    }
+  }
+  // Free-list consistency and slot conservation.
+  const size_t capacity = slabs_.size() * kSlabSize;
+  for (const uint32_t id : free_ids_) {
+    if (id >= capacity) {
+      EngineDie("free-list-range", "free id " + std::to_string(id) + " out of range");
+    }
+    const Event& e = Rec(id);
+    if (e.heap_pos >= 0) {
+      EngineDie("free-while-queued", "free slot " + std::to_string(id) + " is still queued");
+    }
+#ifdef PERFISO_SIMSAN
+    if (!e.simsan_in_free_list) {
+      EngineDie("free-list-flag", "slot " + std::to_string(id) +
+                                      " is on the free list but not flagged as free");
+    }
+    if (!e.cb.SimSanPoisonIntact()) {
+      EngineDie("use-after-recycle", "freed event record " + std::to_string(id) +
+                                         " was written while on the free list");
+    }
+#endif
+  }
+  size_t executing = 0;
+#ifdef PERFISO_SIMSAN
+  executing = simsan_in_callback_ ? 1 : 0;
+#endif
+  if (heap_.size() + free_ids_.size() + executing != capacity) {
+    EngineDie("slot-conservation", "pending " + std::to_string(heap_.size()) + " + free " +
+                                       std::to_string(free_ids_.size()) + " + executing " +
+                                       std::to_string(executing) + " != capacity " +
+                                       std::to_string(capacity));
+  }
 }
 
 void Simulator::RunUntil(SimTime until) {
@@ -191,8 +378,14 @@ PeriodicTask::PeriodicTask(Simulator* sim, SimTime start, SimDuration period, Ti
 }
 
 void PeriodicTask::Cancel() {
+  if (cancelled_) {
+    // Idempotent: the destructor calls Cancel() too, and by then the armed
+    // event's slot may have been recycled — touching it again would be the
+    // exact stale-handle bug SimSan exists to catch.
+    return;
+  }
   cancelled_ = true;
-  sim_->Cancel(event_);  // no-op when called from inside the tick (already fired)
+  sim_->CancelOwned(event_);  // no-op when called from inside the tick (already fired)
 }
 
 void PeriodicTask::Arm(SimTime when) {

@@ -19,6 +19,13 @@
 //     or is superseded; stale handles are safe to pass anywhere.
 //   * The heap is 4-ary and keyed by (time, seq); each record tracks its heap
 //     position so Cancel/Reschedule are O(log4 n) without scanning.
+//   * -DPERFISO_SIMSAN=ON compiles in SimSan, the engine-validation mode
+//     (see DESIGN.md §"Determinism rules & SimSan"): stale-handle
+//     Cancel/Reschedule after a slot recycle aborts with a diagnostic instead
+//     of silently returning false, double-cancel aborts, freed records are
+//     poisoned and checked on reuse, and engine invariants are swept
+//     periodically. All of it lives behind #ifdef PERFISO_SIMSAN, so the
+//     normal build carries zero overhead.
 #ifndef PERFISO_SRC_SIM_SIMULATOR_H_
 #define PERFISO_SRC_SIM_SIMULATOR_H_
 
@@ -38,12 +45,24 @@ namespace perfiso {
 
 class Simulator;
 
+// True when the engine was built with -DPERFISO_SIMSAN=ON; lets tests select
+// between "aborts with a diagnostic" and "silently returns false" behavior.
+#ifdef PERFISO_SIMSAN
+inline constexpr bool kSimSanEnabled = true;
+#else
+inline constexpr bool kSimSanEnabled = false;
+#endif
+
 // Refers to one scheduled event: a pooled slot id plus the generation the
 // slot had when the event was scheduled. Default-constructed (and stale)
 // handles are inert: Cancel/Reschedule/Pending on them return false.
 class EventHandle {
  public:
   EventHandle() = default;
+
+  // True when minted by a Schedule call and not reset since; says nothing
+  // about whether the event is still pending (see Simulator::Pending).
+  bool valid() const { return id_ != kInvalidId; }
 
  private:
   friend class Simulator;
@@ -102,6 +121,13 @@ class EventCallback {
 
   bool armed() const { return invoke_ != nullptr; }
 
+#ifdef PERFISO_SIMSAN
+  // Freed records are filled with a poison pattern; a scribble through a
+  // stale reference (or an engine bug) is caught when the slot is reused.
+  void SimSanPoison();
+  bool SimSanPoisonIntact() const;
+#endif
+
  private:
   void* target() { return heap_ != nullptr ? heap_ : static_cast<void*>(inline_buf_); }
 
@@ -143,8 +169,21 @@ class Simulator {
 
   // Removes a pending event from the queue (its callback is destroyed, not
   // run). Returns false — and does nothing — if the handle is stale: default
-  // constructed, already fired, already cancelled, or superseded.
+  // constructed, already fired, already cancelled, or superseded. Under
+  // SimSan, a cancel through a handle whose slot was recycled (or that was
+  // already cancelled) aborts with a diagnostic instead.
   bool Cancel(EventHandle handle);
+
+  // Cancel for a handle the caller *owns* (a member it stores and re-arms):
+  // cancels, then resets `handle` to the default stale state so no copy of a
+  // dead handle lingers in the owner. This is the handle-hygiene primitive
+  // SimSan enforces — a lingering fired/cancelled handle is safe only until
+  // its slot recycles. Returns whether a pending event was cancelled.
+  bool CancelOwned(EventHandle& handle) {
+    const bool cancelled = Cancel(handle);
+    handle = EventHandle();
+    return cancelled;
+  }
 
   // Moves a pending event to `when` (clamped like Schedule). The event keeps
   // its callback and its handle but is ordered as a fresh scheduling decision
@@ -198,6 +237,20 @@ class Simulator {
   // Pending (live) events only: cancelled events leave the queue eagerly.
   size_t PendingEvents() const { return heap_.size(); }
 
+  // Full engine-state validation: heap property, record back-pointers,
+  // free-list consistency, slot conservation, and (under SimSan) poison
+  // integrity of freed records. Aborts with a diagnostic on any violation.
+  // SimSan builds run this automatically every kSimSanSweepInterval executed
+  // events; in normal builds it is available for tests but never runs
+  // implicitly. Call from outside event callbacks.
+  void CheckEngineInvariants() const;
+
+#ifdef PERFISO_SIMSAN
+  // Executed events between automatic invariant sweeps (the engine has no
+  // scheduler-quantum notion of its own; this is its "per quantum" cadence).
+  static constexpr uint64_t kSimSanSweepInterval = 1024;
+#endif
+
  private:
   // 256 event records per slab. Slab storage is stable (records never move),
   // so callbacks may safely schedule/cancel while one of them runs.
@@ -210,6 +263,16 @@ class Simulator {
     uint32_t gen = 0;
     int32_t heap_pos = -1;  // index into heap_, -1 when not queued
     EventCallback cb;
+#ifdef PERFISO_SIMSAN
+    // How the slot's most recent event ended, and the generation handles to
+    // that event carried. Lets a stale Cancel/Reschedule distinguish the
+    // documented benign case (the event fired) from latent lifetime bugs
+    // (double-cancel, touch after the slot was recycled).
+    enum : uint8_t { kNeverEnded = 0, kEndedFired = 1, kEndedCancelled = 2 };
+    uint32_t simsan_ended_gen = 0;
+    uint8_t simsan_ended_how = kNeverEnded;
+    bool simsan_in_free_list = false;
+#endif
   };
 
   struct HeapItem {
@@ -235,6 +298,14 @@ class Simulator {
   SimTime ClampToNow(SimTime when);
   uint32_t AllocSlot();
   void FreeSlot(uint32_t id);
+#ifdef PERFISO_SIMSAN
+  // Called when Cancel/Reschedule sees a handle Lookup rejected: aborts with
+  // a diagnostic if the staleness indicates a lifetime bug, returns for the
+  // benign cases (default handle, event fired once since the handle was
+  // minted).
+  void SimSanDiagnoseStale(EventHandle handle, const char* op) const;
+  void SimSanNoteEnded(Event& e, uint8_t how);
+#endif
   void HeapPush(uint32_t id, SimTime time, uint64_t seq);
   void HeapRemoveAt(size_t pos);
   void SiftUp(size_t pos);
@@ -247,6 +318,11 @@ class Simulator {
   std::vector<HeapItem> heap_;
   std::vector<std::unique_ptr<Event[]>> slabs_;
   std::vector<uint32_t> free_ids_;
+#ifdef PERFISO_SIMSAN
+  // True while Step() runs a callback: the executing record is neither in the
+  // heap nor the free list, which the conservation sweep must tolerate.
+  bool simsan_in_callback_ = false;
+#endif
 };
 
 // A self-rescheduling task with cancellation, used for polling loops (the

@@ -34,7 +34,8 @@ TEST_P(EngineVsReferenceTest, RandomOpsMatchReferenceModel) {
   uint64_t ref_seq = 0;
 
   struct LiveEvent {
-    EventHandle handle;
+    // Bookkeeping only: the test loop cancels/erases entries as they retire.
+    EventHandle handle;  // NOLINT(perfiso-LIFE-001)
     std::pair<SimTime, uint64_t> ref_key;
   };
   std::vector<LiveEvent> live;
@@ -67,7 +68,11 @@ TEST_P(EngineVsReferenceTest, RandomOpsMatchReferenceModel) {
       live[pick] = live.back();
       live.pop_back();
       EXPECT_TRUE(sim.Cancel(victim.handle));
-      EXPECT_FALSE(sim.Cancel(victim.handle));  // second cancel is a stale no-op
+      if constexpr (!kSimSanEnabled) {
+        // The lenient contract: a second cancel is a stale no-op. SimSan
+        // promotes exactly this to an abort (see simsan_test.cc).
+        EXPECT_FALSE(sim.Cancel(victim.handle));
+      }
       ASSERT_EQ(reference.erase(victim.ref_key), 1u);
     } else if (op == 7) {  // reschedule a random live event
       const size_t pick =

@@ -1,0 +1,156 @@
+// SimSan regression suite. Built twice by CI: once plain, once with
+// -DPERFISO_SIMSAN=ON. Each hazard asserts BOTH sides of the contract:
+//
+//   * plain build  — the lenient documented behavior (stale handles are
+//     silently inert no-ops; this is what makes the ScheduleOrTighten idiom
+//     safe), i.e. the engine "silently accepts" the buggy call;
+//   * SimSan build — the same call aborts with a "SimSan: ..." diagnostic,
+//     because silent acceptance is exactly how a handle-hygiene bug hides
+//     until it cancels a stranger's event and breaks a golden digest.
+//
+// The death tests anchor on the diagnostic prefix so a regression that turns
+// an abort into a plain crash (or the wrong rule firing) still fails.
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace perfiso {
+namespace {
+
+TEST(SimSanTest, BuildModeMatchesCompileDefinition) {
+#ifdef PERFISO_SIMSAN
+  EXPECT_TRUE(kSimSanEnabled);
+#else
+  EXPECT_FALSE(kSimSanEnabled);
+#endif
+}
+
+// The acceptance hazard: reschedule through a handle whose slot was recycled
+// and re-armed by an unrelated event. Without generation checking this would
+// move a stranger's event; the plain build's generation counters make it an
+// inert no-op, and SimSan turns it into a hard abort.
+TEST(SimSanTest, StaleRescheduleAfterRecycleAbortsUnderSimSanOnly) {
+  Simulator sim;
+  EventHandle first = sim.Schedule(10, [] {});
+  ASSERT_TRUE(sim.Cancel(first));
+  int fired = 0;
+  EventHandle second = sim.Schedule(20, [&] { ++fired; });  // recycles the slot
+  ASSERT_TRUE(sim.Pending(second));
+  if constexpr (kSimSanEnabled) {
+    EXPECT_DEATH((void)sim.Reschedule(first, 99), "SimSan: stale-handle-after-recycle");
+  } else {
+    EXPECT_FALSE(sim.Reschedule(first, 99));  // silently accepted as stale
+    sim.RunUntilEmpty();
+    EXPECT_EQ(fired, 1);  // and the squatter event was untouched
+    EXPECT_EQ(sim.Now(), 20);
+  }
+}
+
+TEST(SimSanTest, StaleCancelAfterRecycleAbortsUnderSimSanOnly) {
+  Simulator sim;
+  EventHandle first = sim.Schedule(10, [] {});
+  ASSERT_TRUE(sim.Cancel(first));
+  EventHandle second = sim.Schedule(20, [] {});  // re-arms the freed slot
+  if constexpr (kSimSanEnabled) {
+    EXPECT_DEATH((void)sim.Cancel(first), "SimSan: stale-handle-after-recycle");
+  } else {
+    EXPECT_FALSE(sim.Cancel(first));
+    EXPECT_TRUE(sim.Pending(second));
+  }
+}
+
+TEST(SimSanTest, DoubleCancelAbortsUnderSimSanOnly) {
+  Simulator sim;
+  EventHandle h = sim.Schedule(10, [] {});
+  ASSERT_TRUE(sim.Cancel(h));
+  if constexpr (kSimSanEnabled) {
+    EXPECT_DEATH((void)sim.Cancel(h), "SimSan: double-cancel");
+  } else {
+    EXPECT_FALSE(sim.Cancel(h));
+  }
+}
+
+// Distance-two staleness: the handle's slot went through a full
+// recycle-and-retire cycle, so the slot is idle again (not re-armed) when the
+// stale call arrives — the generation distance is the only evidence left.
+TEST(SimSanTest, UseAfterFullRecycleAbortsUnderSimSanOnly) {
+  Simulator sim;
+  EventHandle h = sim.Schedule(10, [] {});
+  ASSERT_TRUE(sim.Cancel(h));
+  EventHandle squatter = sim.Schedule(20, [] {});
+  ASSERT_TRUE(sim.Cancel(squatter));  // slot ends a second life, gen distance 2
+  if constexpr (kSimSanEnabled) {
+    EXPECT_DEATH((void)sim.Cancel(h), "SimSan: stale-handle-after-recycle");
+  } else {
+    EXPECT_FALSE(sim.Cancel(h));
+  }
+}
+
+// The documented benign-stale case must stay benign under SimSan: a handle
+// whose event simply fired is inert for Cancel/Reschedule/Pending. This is
+// the contract ScheduleOrTighten and cancel-on-completion paths rely on.
+TEST(SimSanTest, FiredHandleStaysBenignEvenUnderSimSan) {
+  Simulator sim;
+  EventHandle h = sim.Schedule(5, [] {});
+  sim.RunUntilEmpty();
+  EXPECT_FALSE(sim.Pending(h));
+  EXPECT_FALSE(sim.Cancel(h));
+  EXPECT_FALSE(sim.Reschedule(h, 50));
+  EXPECT_FALSE(sim.Cancel(EventHandle{}));  // default handles always inert
+}
+
+// CancelOwned is the hygiene SimSan enforces: cancel + clear in one step, so
+// repeating it is safe in every build mode.
+TEST(SimSanTest, CancelOwnedIsIdempotentInBothModes) {
+  Simulator sim;
+  EventHandle h = sim.Schedule(10, [] {});
+  EXPECT_TRUE(sim.CancelOwned(h));
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(sim.CancelOwned(h));  // now a default handle: inert, no abort
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimSanTest, PeriodicTaskExplicitCancelThenDestructorDoesNotAbort) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTask task(&sim, /*start=*/5, /*period=*/10, [&](SimTime) { ++ticks; });
+    sim.RunUntil(6);
+    task.Cancel();
+    task.Cancel();  // explicitly idempotent
+  }                 // destructor cancels again; must not double-cancel
+  sim.RunUntilEmpty();
+  EXPECT_EQ(ticks, 1);
+}
+
+// Drives well past kSimSanSweepInterval executed events so the periodic
+// engine-invariant sweep runs many times over live heap/pool churn.
+TEST(SimSanTest, InvariantSweepStaysQuietOverHeavyChurn) {
+  Simulator sim;
+  int remaining = 5000;
+  std::vector<EventHandle> batch;
+  std::function<void()> tick = [&] {
+    if (--remaining <= 0) {
+      return;
+    }
+    // Churn the pool: a few cancelled side events per tick recycle slots.
+    for (int i = 0; i < 3; ++i) {
+      batch.push_back(sim.ScheduleAfter(100, [] {}));
+    }
+    for (EventHandle& h : batch) {
+      sim.CancelOwned(h);
+    }
+    batch.clear();
+    sim.ScheduleAfter(10, tick);
+  };
+  sim.Schedule(0, tick);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(remaining, 0);
+  sim.CheckEngineInvariants();  // and once more, explicitly, at quiescence
+}
+
+}  // namespace
+}  // namespace perfiso

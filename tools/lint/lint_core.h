@@ -1,0 +1,82 @@
+// perfiso_lint: repo-specific determinism & lifetime rules for the PerfIso
+// reproduction, run over src/, bench/, tests/, and examples/.
+//
+// The checker is a real single-pass tokenizer, not a grep: it skips line and
+// block comments, string / char / raw-string literals, and preprocessor
+// lines, so `// no std::rand() here` or `"steady_clock"` in a log message
+// never trip a rule. Findings can be silenced inline with
+// `// NOLINT(perfiso-DET-003)` on the offending line or
+// `// NOLINTNEXTLINE(perfiso-DET-003)` on the line above; a bare `NOLINT`
+// silences every rule on that line. Every suppression should carry a
+// rationale comment — the rules exist because one stray wall-clock read or
+// address-ordered container silently breaks golden-digest reproducibility.
+//
+// Rules:
+//   DET-001  no wall-clock reads (chrono system/steady/high_resolution
+//            clocks, time(), gettimeofday, clock_gettime) outside the bench
+//            timing harness allowlist — simulated time comes from Simulator.
+//   DET-002  no std::rand / std::random_device / ad-hoc std engines — all
+//            randomness flows through util/rng.h seeded generators.
+//   DET-003  no std::unordered_{map,set,...} in simulation-visible code
+//            (src/, bench/): hash-seed iteration order varies across runs.
+//   DET-004  no ordered containers keyed by raw pointer value: address order
+//            is nondeterministic across runs.
+//   LIFE-001 EventHandle members in a class with no destructor and no
+//            Cancel* member: armed events can outlive their owner (heuristic,
+//            suppress when another object owns the lifecycle).
+#ifndef PERFISO_TOOLS_LINT_LINT_CORE_H_
+#define PERFISO_TOOLS_LINT_LINT_CORE_H_
+
+#include <string>
+#include <vector>
+
+namespace perfiso {
+namespace lint {
+
+// Where a file sits in the repo; decides which rules apply (DET-003 only
+// bites simulation-visible code). Derived from path components so fixture
+// trees under tools/lint/testdata/<category>/ categorize like the real tree.
+enum class FileCategory { kSrc, kBench, kTests, kExamples, kOther };
+
+FileCategory CategorizeByPath(const std::string& path);
+const char* CategoryName(FileCategory category);
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;  // e.g. "perfiso-DET-001"
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+struct LintOptions {
+  // Files exempt per rule, matched as path suffixes ('/'-separated).
+  std::vector<std::string> det001_allowlist = {
+      "bench/harness.h",         // wall-clock timing of real benches
+      "bench/harness.cc",
+      "bench/micro_overheads.cc",  // measures the engine with a real clock
+  };
+  std::vector<std::string> det002_allowlist = {
+      "src/util/rng.h",  // the one sanctioned randomness implementation
+      "src/util/rng.cc",
+  };
+};
+
+// Lints one translation unit's text. `path` is used for reporting, category
+// selection, and allowlist matching; findings come back in line order.
+std::vector<Finding> LintSource(const std::string& path, const std::string& content,
+                                const LintOptions& options = LintOptions());
+
+// Reads `path` and lints it. Unreadable files produce a single synthetic
+// finding with rule "perfiso-IO" so CI fails loudly instead of skipping.
+std::vector<Finding> LintFile(const std::string& path,
+                              const LintOptions& options = LintOptions());
+
+// Machine-readable report: {"findings":[{file,line,rule,message},...]}.
+std::string ToJson(const std::vector<Finding>& findings);
+
+}  // namespace lint
+}  // namespace perfiso
+
+#endif  // PERFISO_TOOLS_LINT_LINT_CORE_H_

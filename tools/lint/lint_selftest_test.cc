@@ -1,0 +1,186 @@
+// Self-test for perfiso_lint: fixture files under tools/lint/testdata/ carry
+// seeded violations (asserted by exact rule id + line) next to clean decoys
+// (comments, strings, raw strings, preprocessor text, allowlisted paths,
+// category-scoped files) that must stay quiet, plus suppression coverage.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/lint_core.h"
+
+namespace perfiso {
+namespace lint {
+namespace {
+
+#ifndef PERFISO_LINT_TESTDATA
+#error "PERFISO_LINT_TESTDATA must point at tools/lint/testdata"
+#endif
+
+std::vector<std::pair<std::string, int>> RuleLines(const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) {
+    out.emplace_back(f.rule, f.line);
+  }
+  return out;
+}
+
+std::vector<Finding> LintFixture(const std::string& rel) {
+  return LintFile(std::string(PERFISO_LINT_TESTDATA) + "/" + rel);
+}
+
+using RL = std::vector<std::pair<std::string, int>>;
+
+TEST(LintFixtures, Det001FlagsEveryWallClockReadAndHonorsSuppression) {
+  const RL got = RuleLines(LintFixture("src/bad_clock.cc"));
+  const RL want = {
+      {"perfiso-DET-001", 11},  // steady_clock::now()
+      {"perfiso-DET-001", 15},  // alias laundering: using X = system_clock
+      {"perfiso-DET-001", 17},  // time(nullptr)
+  };
+  EXPECT_EQ(got, want);  // line 20 is NOLINT-suppressed
+}
+
+TEST(LintFixtures, Det002FlagsAdHocRandomness) {
+  const RL got = RuleLines(LintFixture("src/bad_rng.cc"));
+  const RL want = {
+      {"perfiso-DET-002", 8},   // std::mt19937
+      {"perfiso-DET-002", 12},  // std::random_device
+      {"perfiso-DET-002", 14},  // rand()
+  };
+  EXPECT_EQ(got, want);  // line 17 is NOLINTNEXTLINE-suppressed
+}
+
+TEST(LintFixtures, Det003FlagsHashContainersInSrc) {
+  const RL got = RuleLines(LintFixture("src/bad_unordered.cc"));
+  const RL want = {
+      {"perfiso-DET-003", 9},
+      {"perfiso-DET-003", 10},
+  };
+  EXPECT_EQ(got, want);  // includes on lines 4-5 are preprocessor text
+}
+
+TEST(LintFixtures, Det003IsScopedToSimulationVisibleCode) {
+  EXPECT_TRUE(LintFixture("tests/unordered_ok.cc").empty());
+}
+
+TEST(LintFixtures, Det004FlagsPointerKeyedContainers) {
+  const RL got = RuleLines(LintFixture("src/bad_ptr_key.cc"));
+  const RL want = {
+      {"perfiso-DET-004", 11},  // std::set<Node*>
+      {"perfiso-DET-004", 12},  // std::map<Node*, int>
+      {"perfiso-DET-004", 13},  // std::priority_queue<Node*>
+  };
+  EXPECT_EQ(got, want);  // pointer *values* and nested keys stay clean
+}
+
+TEST(LintFixtures, Life001FlagsHandleMembersWithoutTeardown) {
+  const RL got = RuleLines(LintFixture("src/bad_life.cc"));
+  const RL want = {
+      {"perfiso-LIFE-001", 11},  // Leaky::pending_
+  };
+  EXPECT_EQ(got, want);  // dtor / CancelAll / NOLINT classes stay clean
+}
+
+TEST(LintFixtures, DecoyCorpusIsEntirelyClean) {
+  const std::vector<Finding> got = LintFixture("src/clean_decoys.cc");
+  EXPECT_TRUE(got.empty()) << (got.empty() ? "" : got.front().message);
+}
+
+TEST(LintFixtures, AllowlistsExemptTheSanctionedFiles) {
+  EXPECT_TRUE(LintFixture("bench/micro_overheads.cc").empty());
+  EXPECT_TRUE(LintFixture("src/util/rng.h").empty());
+}
+
+// --- Direct LintSource coverage of tokenizer / suppression corners --------
+
+TEST(LintSource, BareNolintSuppressesEveryRule) {
+  const auto findings = LintSource(
+      "src/x.cc", "auto t = std::chrono::steady_clock::now();  // NOLINT\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, WrongRuleInNolintDoesNotSuppress) {
+  const auto findings = LintSource(
+      "src/x.cc", "auto t = std::chrono::steady_clock::now();  // NOLINT(perfiso-DET-002)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "perfiso-DET-001");
+}
+
+TEST(LintSource, BareRuleNameInNolintSuppresses) {
+  const auto findings =
+      LintSource("src/x.cc", "std::unordered_map<int, int> m;  // NOLINT(DET-003)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, DoubleAngleCloseDoesNotConfuseDet004) {
+  // The '>>' closing two template levels must lex as two tokens; the key of
+  // the outer map is a by-value pair, so this is clean.
+  const auto findings = LintSource(
+      "src/x.cc", "std::map<std::pair<int, int>, std::vector<int>> m;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, Det004SeesPointerKeyBehindNestedArgs) {
+  const auto findings =
+      LintSource("src/x.cc", "std::map<Thing*, std::vector<int>> m;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "perfiso-DET-004");
+}
+
+TEST(LintSource, MultiLineBlockCommentKeepsLineNumbers) {
+  const auto findings = LintSource(
+      "src/x.cc", "/* line one\nline two\n*/\nstd::mt19937 gen;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintSource, PreprocessorContinuationSkipsWholeDirective) {
+  const auto findings = LintSource(
+      "src/x.cc", "#define PICK_CLOCK \\\n  std::chrono::steady_clock\nint x;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, MemberFunctionNamedCancelCountsAsTeardown) {
+  const auto findings = LintSource(
+      "src/x.cc",
+      "class Owner {\n public:\n  void CancelPending();\n private:\n"
+      "  EventHandle h_;\n};\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, VectorOfHandlesWithoutTeardownIsFlagged) {
+  const auto findings = LintSource(
+      "src/x.cc",
+      "class Owner {\n  std::vector<EventHandle> handles_;\n};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "perfiso-LIFE-001");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintSource, QualifiedClassNameMatchesItsDestructor) {
+  // struct Outer::Inner { ~Inner(); ... } — the dtor must count as teardown.
+  const auto findings = LintSource(
+      "src/x.cc",
+      "struct Outer::Inner {\n  ~Inner();\n  EventHandle h_;\n};\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Categorize, RightmostComponentWins) {
+  EXPECT_EQ(CategorizeByPath("/repo/src/sim/simulator.cc"), FileCategory::kSrc);
+  EXPECT_EQ(CategorizeByPath("tools/lint/testdata/bench/x.cc"), FileCategory::kBench);
+  EXPECT_EQ(CategorizeByPath("tools/lint/lint_core.cc"), FileCategory::kOther);
+}
+
+TEST(Json, EscapesAndCounts) {
+  const std::string json = ToJson({Finding{"a\"b.cc", 7, "perfiso-DET-001", "msg"}});
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b.cc"), std::string::npos);
+  EXPECT_NE(json.find("\"line\":7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace perfiso

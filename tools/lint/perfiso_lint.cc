@@ -1,0 +1,115 @@
+// CLI for the perfiso determinism & lifetime linter (see lint_core.h for the
+// rules). With no path arguments it walks src/, bench/, tests/, examples/
+// under --root (default: the current directory), in sorted order so output —
+// like everything else in this repo — is deterministic.
+//
+//   perfiso_lint [--root DIR] [--json FILE] [--quiet] [paths...]
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint_core.h"
+
+namespace fs = std::filesystem;
+using perfiso::lint::Finding;
+using perfiso::lint::LintFile;
+using perfiso::lint::LintOptions;
+
+namespace {
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" || ext == ".cxx";
+}
+
+// Collects every lintable file under `dir` (which may not exist), sorted.
+void CollectDir(const fs::path& dir, std::vector<std::string>* files) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return;
+  }
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end && !ec; it.increment(ec)) {
+    if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
+      files->push_back(it->path().generic_string());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: perfiso_lint [--root DIR] [--json FILE] [--quiet] [paths...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "perfiso_lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> files;
+  if (paths.empty()) {
+    for (const char* dir : {"src", "bench", "tests", "examples"}) {
+      CollectDir(fs::path(root) / dir, &files);
+    }
+    if (files.empty()) {
+      std::cerr << "perfiso_lint: no lintable files under '" << root << "'\n";
+      return 2;
+    }
+  } else {
+    for (const std::string& p : paths) {
+      std::error_code ec;
+      if (fs::is_directory(p, ec)) {
+        CollectDir(p, &files);
+      } else {
+        files.push_back(p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  const LintOptions options;
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    std::vector<Finding> fs_found = LintFile(file, options);
+    findings.insert(findings.end(), fs_found.begin(), fs_found.end());
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << " " << f.rule << " " << f.message << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "perfiso_lint: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    out << perfiso::lint::ToJson(findings) << "\n";
+  }
+  if (!quiet) {
+    std::cerr << "perfiso_lint: " << files.size() << " files, " << findings.size()
+              << " finding(s)\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,7 @@
+// Allowlist decoy: this path suffix-matches the DET-001 allowlist entry
+// bench/micro_overheads.cc, so its real-clock timing must not be flagged.
+#include <chrono>
+
+using Clock = std::chrono::steady_clock;
+
+inline long RealElapsed() { return Clock::now().time_since_epoch().count(); }

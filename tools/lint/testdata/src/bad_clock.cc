@@ -1,0 +1,23 @@
+// DET-001 fixture: wall-clock reads in simulation-visible code.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+// Decoy: mentioning std::chrono::steady_clock in a comment is fine.
+inline const char* kDecoy = "std::chrono::system_clock::now()";
+
+inline long Bad1() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+using LaunderedClock = std::chrono::system_clock;
+
+inline long Bad2() { return time(nullptr); }
+
+inline long Suppressed() {
+  return time(nullptr);  // NOLINT(perfiso-DET-001) fixture: sanctioned read
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// LIFE-001 fixture: EventHandle members without a teardown path.
+#include "src/sim/simulator.h"
+
+namespace fixture {
+
+class Leaky {
+ public:
+  void Arm();
+
+ private:
+  perfiso::EventHandle pending_;
+  int counter_ = 0;
+};
+
+class HasDtor {
+ public:
+  ~HasDtor();
+
+ private:
+  perfiso::EventHandle pending_;
+};
+
+class HasCancel {
+ public:
+  void CancelAll();
+
+ private:
+  perfiso::EventHandle pending_;
+};
+
+class Suppressed {
+ public:
+  void Arm();
+
+ private:
+  // Lifecycle owned by the enclosing engine fixture.
+  perfiso::EventHandle pending_;  // NOLINT(perfiso-LIFE-001)
+};
+
+struct PlainData {
+  int x = 0;
+};
+
+}  // namespace fixture

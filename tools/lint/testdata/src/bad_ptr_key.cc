@@ -1,0 +1,24 @@
+// DET-004 fixture: containers keyed by raw pointer value.
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+
+namespace fixture {
+
+struct Node {};
+
+inline std::set<Node*> g_bad_set;
+inline std::map<Node*, int> g_bad_map;
+inline std::priority_queue<Node*> g_bad_heap;
+
+// Decoys: pointers as mapped values (not keys) are fine, by-value keys are
+// fine, and nested template args must not be mistaken for the key.
+inline std::map<int, Node*> g_ok_values;
+inline std::set<std::pair<int, int>> g_ok_pairs;
+inline std::map<std::pair<int, int>, Node*> g_ok_nested;
+
+// NOLINTNEXTLINE(perfiso-DET-004) fixture: comparator dereferences
+inline std::set<Node*> g_suppressed;
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// DET-002 fixture: ad-hoc randomness.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline int Bad1() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+inline unsigned Bad2() { return std::random_device{}(); }
+
+inline int Bad3() { return rand() % 6; }
+
+// NOLINTNEXTLINE(perfiso-DET-002) fixture: suppressed engine
+inline std::mt19937_64 g_suppressed;
+
+// Decoy: the word mt19937 in a comment, and "rand()" in a string.
+inline const char* kDecoy = "std::random_device and rand()";
+
+}  // namespace fixture

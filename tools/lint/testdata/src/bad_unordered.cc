@@ -1,0 +1,15 @@
+// DET-003 fixture: hash containers in simulation-visible code. The
+// #include lines below are also decoys — preprocessor text must not trip.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+inline std::unordered_map<int, int> g_bad_map;
+inline std::unordered_set<std::string> g_bad_set;
+
+// Iteration order here never reaches a digest; suppressed with rationale.
+inline std::unordered_map<int, int> g_ok;  // NOLINT(perfiso-DET-003) fixture
+
+}  // namespace fixture

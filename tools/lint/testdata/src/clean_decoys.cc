@@ -1,0 +1,25 @@
+// Decoy corpus: every forbidden spelling below appears only where the
+// tokenizer must not look. A correct linter reports nothing in this file.
+
+// std::chrono::steady_clock::now(), std::mt19937, std::unordered_map.
+
+/* block comment: time(nullptr); std::random_device; std::set<Node*> */
+
+namespace fixture {
+
+inline const char* kString = "std::unordered_set<int> rand() time(0)";
+inline const char* kRaw = R"(std::mt19937 gen; gettimeofday(nullptr);)";
+inline const char* kEscaped = "quote \" std::system_clock";
+inline const char* kDelimRaw = R"lint(std::unordered_map<int, int> )lint";
+
+// A member named `time` and member access through ./-> are not time().
+struct Accessor {
+  long time = 0;
+};
+inline long Member(const Accessor& a) { return a.time; }
+
+// Digit separators must not open a char literal that swallows code.
+inline long kBig = 1'000'000;
+inline long AfterSeparators() { return kBig; }
+
+}  // namespace fixture

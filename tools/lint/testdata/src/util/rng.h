@@ -1,0 +1,5 @@
+// Allowlist decoy: suffix-matches the DET-002 allowlist entry src/util/rng.h
+// — the one place sanctioned to touch raw engines for seeding.
+#include <random>
+
+inline unsigned FixtureSeedEntropy() { return std::random_device{}(); }

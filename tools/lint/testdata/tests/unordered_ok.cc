@@ -1,0 +1,5 @@
+// Category decoy: DET-003 only bites simulation-visible code (src/, bench/),
+// so a hash container in tests/ is fine.
+#include <unordered_map>
+
+inline std::unordered_map<int, int> g_fine_in_tests;
