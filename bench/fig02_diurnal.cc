@@ -200,5 +200,17 @@ int main() {
                                {"no_isolation_p99_ms", fc_no_iso.p99_ms},
                                {"blind_p99_ms", fc_blind.p99_ms},
                            });
+
+  // --- Traced run -----------------------------------------------------------
+  // One more diurnal-blind day with observability on: emits the Perfetto
+  // trace + metrics timeseries artifacts and the P99-cohort attribution
+  // table. The tracer is passive, so this run's digest is bit-identical to
+  // an unobserved run of the same spec (tests/bench_determinism_test.cc).
+  std::printf("\ntraced run (diurnal-blind, obs on):\n");
+  PrintRowHeader();
+  ObsArtifacts obs;
+  const SingleBoxResult traced = RunSingleBox(WithBenchObs(blind), {}, &obs);
+  PrintRow("diurnal-blind (traced)", traced);
+  WriteObsArtifacts("fig02_diurnal", obs);
   return 0;
 }

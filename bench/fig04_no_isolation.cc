@@ -49,5 +49,19 @@ int main() {
       PrintPaperNote(qps == 2000 ? c.note_2000 : c.note_4000);
     }
   }
+
+  // Traced run: the high-interference case at 2,000 QPS with observability
+  // on — the attribution table shows where the 29x P99 inflation comes from
+  // (cpu_wait, per §6.1.2), and the trace/metrics artifacts let Perfetto
+  // show it query by query.
+  std::printf("\ntraced run (high secondary @2000, obs on):\n");
+  ScenarioSpec traced;
+  traced.name = "fig04-high-2000";
+  traced.load = ConstantLoad(2000);
+  traced.tenants.cpu_bully_threads = 48;
+  ObsArtifacts obs;
+  const SingleBoxResult traced_result = RunSingleBox(WithBenchObs(traced), {}, &obs);
+  PrintRow("high secondary @2000 (traced)", traced_result);
+  WriteObsArtifacts("fig04_no_isolation", obs);
   return 0;
 }

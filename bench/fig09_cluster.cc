@@ -20,9 +20,12 @@
 // scale here runs a 4 s measurement once — set PERFISO_BENCH_SCALE=6 (or
 // more) to approach the full run.
 #include <cstdio>
+#include <memory>
 
 #include "bench/harness.h"
 #include "src/cluster/cluster.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace_export.h"
 
 namespace {
 
@@ -49,7 +52,12 @@ LayerRow Summarize(const LatencyRecorder& rec) {
   return LayerRow{rec.Mean(), rec.P95(), rec.P99()};
 }
 
-ClusterResult RunCluster(Secondary secondary) {
+// When `obs` is non-null the run carries a full observability context —
+// cluster-wide tracing (TLA fan-out, fabric hops, every leaf's stages and
+// I/O) plus cluster-level metric probes — and exports the artifacts into it.
+// The tracer is passive, so observed and unobserved runs report identical
+// latencies.
+ClusterResult RunCluster(Secondary secondary, bench::ObsArtifacts* obs = nullptr) {
   Simulator sim;
   ClusterOptions options;
   options.topology = ClusterTopology{22, 2, 31};
@@ -84,6 +92,27 @@ ClusterResult RunCluster(Secondary secondary) {
     }
   });
 
+  std::unique_ptr<ObsContext> obs_ctx;
+  if (obs != nullptr) {
+    ObsSpec spec;
+    spec.enabled = true;
+    spec.sampling = TraceSampling::kSlowestK;
+    // A cluster trace fans out across every leaf of a row, so one retained
+    // query is ~1k span records; 32 keeps the artifact in the single-digit
+    // megabytes while still covering the whole P99 cohort of a smoke run.
+    spec.slowest_k = 32;
+    obs_ctx = std::make_unique<ObsContext>(spec);
+    cluster.EnableTracing(&obs_ctx->tracer);
+    obs_ctx->registry.AddProbe("cluster.completed", [&cluster] {
+      return static_cast<double>(cluster.queries_completed());
+    });
+    obs_ctx->registry.AddProbe("cluster.leaf_drops", [&cluster] {
+      return static_cast<double>(cluster.leaf_drops());
+    });
+    obs_ctx->registry.AddProbe("cluster.tla_p99_ms",
+                               [&cluster] { return cluster.TlaLatency().P99(); });
+  }
+
   Rng trace_rng(4242);
   auto trace = GenerateTrace(TraceSpec{}, 20000, &trace_rng);
   OpenLoopClient client(&sim, std::move(trace), /*qps=*/8000, Rng(9),
@@ -93,6 +122,11 @@ ClusterResult RunCluster(Secondary secondary) {
 
   const SimDuration warmup = kSecond / 2;
   const auto measure = static_cast<SimDuration>(4 * kSecond * bench::BenchScale());
+  if (obs_ctx != nullptr) {
+    const int client_pid = obs_ctx->tracer.RegisterProcess("client");
+    client.SetTracer(&obs_ctx->tracer, obs_ctx->tracer.RegisterTrack(client_pid, "arrivals"));
+    obs_ctx->StartSampling(&sim, warmup);
+  }
   client.Run(0, warmup + measure);
   sim.RunUntil(warmup);
   cluster.ResetStats();
@@ -106,6 +140,14 @@ ClusterResult RunCluster(Secondary secondary) {
   result.mean_busy = cluster.MeanBusyFractionSince(snaps);
   result.completed = cluster.queries_completed();
   result.drops = cluster.leaf_drops();
+
+  if (obs_ctx != nullptr) {
+    obs_ctx->sampler->SampleNow(sim.Now());
+    obs->enabled = true;
+    obs->trace_json = ExportChromeTrace(obs_ctx->tracer);
+    obs->metrics_json = obs_ctx->sampler->ToJson();
+    obs->attribution = FormatP99AttributionTable(obs_ctx->tracer);
+  }
   return result;
 }
 
@@ -145,10 +187,12 @@ int main() {
               "0.8/1.2/1.1 ms at IndexServe/MLA/TLA");
 
   // The three cluster scenarios are independent simulations; run them across
-  // hardware threads and print in input order.
+  // hardware threads and print in input order. The CPU-bound run (9b) carries
+  // the observability context and exports the trace/metrics artifacts.
+  ObsArtifacts obs;
   const std::vector<ClusterResult> results = RunParallel<ClusterResult>({
       [] { return RunCluster(Secondary::kNone); },
-      [] { return RunCluster(Secondary::kCpu); },
+      [&obs] { return RunCluster(Secondary::kCpu, &obs); },
       [] { return RunCluster(Secondary::kDisk); },
   });
   const ClusterResult& standalone = results[0];
@@ -165,5 +209,7 @@ int main() {
   std::printf("  disk-bound: leaf %+0.2f  MLA %+0.2f  TLA %+0.2f   (paper: +0.8 +1.2 +1.1)\n",
               disk.leaf.p99 - standalone.leaf.p99, disk.mla.p99 - standalone.mla.p99,
               disk.tla.p99 - standalone.tla.p99);
+  std::printf("\n");
+  WriteObsArtifacts("fig09_cluster", obs);
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/obs.h"
+#include "src/obs/trace_export.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 
@@ -53,7 +55,25 @@ std::string JsonEscape(const std::string& in) {
   return out;
 }
 
+void WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
 }  // namespace
+
+std::string BenchOutPath(const std::string& filename) {
+  const char* out_dir = std::getenv("PERFISO_BENCH_OUT");
+  if (out_dir != nullptr && out_dir[0] != '\0') {
+    return std::string(out_dir) + "/" + filename;
+  }
+  return filename;
+}
 
 void StartReport(const std::string& bench_name) {
   Report* report = ActiveReport();
@@ -91,10 +111,7 @@ void FinishReport() {
     return;
   }
   report->written = true;
-  const char* out_dir = std::getenv("PERFISO_BENCH_OUT");
-  const std::string path =
-      (out_dir != nullptr && out_dir[0] != '\0' ? std::string(out_dir) + "/" : std::string()) +
-      "BENCH_" + report->name + ".json";
+  const std::string path = BenchOutPath("BENCH_" + report->name + ".json");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
@@ -222,7 +239,30 @@ std::vector<SingleBoxResult> RunScenarios(const std::vector<ScenarioSpec>& scena
   return RunParallel(std::move(jobs));
 }
 
-SingleBoxResult RunSingleBox(const ScenarioSpec& input, const IndexNodeOptions& node_options) {
+ScenarioSpec WithBenchObs(ScenarioSpec spec) {
+  spec.obs.enabled = true;
+  spec.obs.sampling = TraceSampling::kSlowestK;
+  spec.obs.slowest_k = 128;
+  return spec;
+}
+
+void WriteObsArtifacts(const std::string& name, const ObsArtifacts& obs) {
+  if (!obs.enabled) {
+    return;
+  }
+  const std::string trace_path = BenchOutPath("TRACE_" + name + ".json");
+  const std::string metrics_path = BenchOutPath("METRICS_" + name + ".json");
+  WriteTextFile(trace_path, obs.trace_json);
+  WriteTextFile(metrics_path, obs.metrics_json);
+  std::printf("wrote %s + %s (load the trace at ui.perfetto.dev)\n", trace_path.c_str(),
+              metrics_path.c_str());
+  if (!obs.attribution.empty()) {
+    std::printf("\ntail-latency attribution of the traced run:\n%s", obs.attribution.c_str());
+  }
+}
+
+SingleBoxResult RunSingleBox(const ScenarioSpec& input, const IndexNodeOptions& node_options,
+                             ObsArtifacts* obs) {
   if (Status status = input.Validate(); !status.ok()) {
     std::fprintf(stderr, "invalid scenario %s: %s\n", input.name.c_str(),
                  status.ToString().c_str());
@@ -241,6 +281,34 @@ SingleBoxResult RunSingleBox(const ScenarioSpec& input, const IndexNodeOptions& 
   const std::unique_ptr<IndexNodeRig> rig_ptr = MakeSingleBoxRig(&sim, scenario, node_options);
   IndexNodeRig& rig = *rig_ptr;
 
+  // Observability: one context per run, destroyed before the rig it probes.
+  // The tracer is passive, so results below are identical with or without it.
+  std::unique_ptr<ObsContext> obs_ctx;
+  HistogramMetric* latency_hist = nullptr;
+  int32_t client_track = Tracer::kNoTrack;
+  if (scenario.obs.enabled) {
+    obs_ctx = std::make_unique<ObsContext>(scenario.obs);
+    rig.EnableTracing(&obs_ctx->tracer);
+    const int client_pid = obs_ctx->tracer.RegisterProcess("client");
+    client_track = obs_ctx->tracer.RegisterTrack(client_pid, "arrivals");
+    latency_hist = obs_ctx->registry.AddHistogram("indexserve.latency_ms", 0, 200, 40);
+    obs_ctx->registry.AddProbe("indexserve.inflight", [&rig] {
+      return static_cast<double>(rig.server().inflight());
+    });
+    obs_ctx->registry.AddProbe("indexserve.completed", [&rig] {
+      return static_cast<double>(rig.server().stats().completed);
+    });
+    obs_ctx->registry.AddProbe("indexserve.dropped", [&rig] {
+      return static_cast<double>(rig.server().stats().TotalDropped());
+    });
+    obs_ctx->registry.AddProbe("indexserve.hedges", [&rig] {
+      return static_cast<double>(rig.server().stats().hedges_issued);
+    });
+    obs_ctx->registry.AddProbe("machine.secondary_core_s",
+                               [&rig] { return rig.SecondaryProgress(); });
+    obs_ctx->StartSampling(&sim, scenario.warmup);
+  }
+
   Rng trace_rng(scenario.trace_seed);
   auto trace = GenerateTrace(TraceSpec{}, scenario.trace_count, &trace_rng);
 
@@ -251,19 +319,36 @@ SingleBoxResult RunSingleBox(const ScenarioSpec& input, const IndexNodeOptions& 
   std::optional<ClosedLoopClient> closed_client;
   if (scenario.client == ClientKind::kOpenLoop) {
     open_client.emplace(&sim, std::move(trace), scenario.load, Rng(scenario.client_seed),
-                        [&rig](const QueryWork& work, SimTime) {
-                          rig.server().SubmitQuery(work);
+                        [&rig, latency_hist](const QueryWork& work, SimTime) {
+                          if (latency_hist == nullptr) {
+                            rig.server().SubmitQuery(work);
+                            return;
+                          }
+                          rig.server().SubmitQuery(work, [latency_hist](const QueryResult& r) {
+                            if (!r.dropped) {
+                              latency_hist->Observe(r.latency_ms);
+                            }
+                          });
                         });
+    if (obs_ctx != nullptr) {
+      open_client->SetTracer(&obs_ctx->tracer, client_track);
+    }
     open_client->Run(0, scenario.warmup + measure);
   } else {
     closed_client.emplace(&sim, std::move(trace), scenario.closed.outstanding,
                           scenario.closed.think_time, Rng(scenario.client_seed),
-                          [&rig, &closed_client](const QueryWork& work, SimTime) {
-                            rig.server().SubmitQuery(work,
-                                                     [&closed_client](const QueryResult&) {
-                                                       closed_client->OnComplete();
-                                                     });
+                          [&rig, &closed_client, latency_hist](const QueryWork& work, SimTime) {
+                            rig.server().SubmitQuery(
+                                work, [&closed_client, latency_hist](const QueryResult& r) {
+                                  if (latency_hist != nullptr && !r.dropped) {
+                                    latency_hist->Observe(r.latency_ms);
+                                  }
+                                  closed_client->OnComplete();
+                                });
                           });
+    if (obs_ctx != nullptr) {
+      closed_client->SetTracer(&obs_ctx->tracer, client_track);
+    }
     closed_client->Run(0, scenario.warmup + measure);
   }
 
@@ -288,6 +373,16 @@ SingleBoxResult RunSingleBox(const ScenarioSpec& input, const IndexNodeOptions& 
   result.hedges = stats.hedges_issued;
   result.queries = stats.submitted;
   result.latency_digest = stats.latency_ms.Digest();
+
+  if (obs_ctx != nullptr) {
+    obs_ctx->sampler->SampleNow(sim.Now());
+    if (obs != nullptr) {
+      obs->enabled = true;
+      obs->trace_json = ExportChromeTrace(obs_ctx->tracer);
+      obs->metrics_json = obs_ctx->sampler->ToJson();
+      obs->attribution = FormatP99AttributionTable(obs_ctx->tracer);
+    }
+  }
   return result;
 }
 

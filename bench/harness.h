@@ -76,10 +76,41 @@ struct SingleBoxResult {
   uint64_t latency_digest = 0;
 };
 
+// --- Observability artifacts --------------------------------------------------
+//
+// When a spec enables obs.* (src/obs/obs.h), RunSingleBox builds a per-run
+// ObsContext, registers every layer with its tracer, samples metrics over the
+// run, and — if the caller passes an ObsArtifacts — exports the run's trace
+// and metrics payloads. The tracer is passive, so an observed run produces
+// bit-identical latency digests to an unobserved one (pinned by
+// tests/bench_determinism_test.cc).
+struct ObsArtifacts {
+  bool enabled = false;      // set by RunSingleBox when the spec enabled obs
+  std::string trace_json;    // Chrome-trace-event JSON (Perfetto-loadable)
+  std::string metrics_json;  // TimeseriesSampler timeseries payload
+  std::string attribution;   // P99-cohort table ("" when nothing was traced)
+};
+
+// The observability configuration benches use for their flagship traced run:
+// slowest-k trace retention (the P99 cohort is what the attribution table
+// explains; retaining every query would dwarf the BENCH_ report) with the
+// default full-rate metrics sampling.
+ScenarioSpec WithBenchObs(ScenarioSpec spec);
+
+// Path of `filename` in the bench output directory (PERFISO_BENCH_OUT, or
+// the working directory when unset).
+std::string BenchOutPath(const std::string& filename);
+
+// Writes TRACE_<name>.json / METRICS_<name>.json into the bench output
+// directory and prints the tail-attribution table. No-op when `obs.enabled`
+// is false, so benches call it unconditionally.
+void WriteObsArtifacts(const std::string& name, const ObsArtifacts& obs);
+
 // Runs one single-box spec (topology.columns must be 0). Aborts loudly on an
 // invalid spec — benches are not in the error-propagation business.
 SingleBoxResult RunSingleBox(const ScenarioSpec& scenario,
-                             const IndexNodeOptions& node = IndexNodeOptions{});
+                             const IndexNodeOptions& node = IndexNodeOptions{},
+                             ObsArtifacts* obs = nullptr);
 
 // --- Scenario registry --------------------------------------------------------
 //

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Schema validator for the bench observability artifacts.
+
+Checks TRACE_*.json (Chrome-trace-event / Perfetto JSON) and METRICS_*.json
+(TimeseriesSampler payloads) emitted by the bench binaries:
+
+  TRACE:   top-level traceEvents list; every event has a known "ph"; timeline
+           events carry numeric ts >= 0 and integer pid/tid; per-(pid,tid)
+           timestamps are monotone in array order; async b/e pairs balance per
+           (cat, id, name) with no end-before-begin; every referenced pid has
+           a process_name metadata record.
+  METRICS: period_ns/times_ns/series present; times_ns strictly increasing;
+           every series has exactly one value per sample time.
+
+Stdlib only. Exit 0 when every file validates, 1 otherwise.
+
+Usage: validate_trace.py FILE.json [FILE.json ...]
+"""
+
+import json
+import sys
+
+TIMELINE_PHASES = {"b", "e", "i"}
+KNOWN_PHASES = TIMELINE_PHASES | {"M"}
+
+
+def validate_trace(data, errors):
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append("traceEvents missing, not a list, or empty")
+        return
+
+    last_ts = {}  # (pid, tid) -> last seen ts
+    open_pairs = {}  # (cat, id, name) -> currently-open begin count
+    named_pids = set()
+    used_pids = set()
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown or missing ph {ph!r}")
+            continue
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(ev.get("pid"))
+            continue
+
+        ts = ev.get("ts")
+        pid = ev.get("pid")
+        tid = ev.get("tid")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: ph={ph} needs a numeric ts >= 0, got {ts!r}")
+            continue
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            errors.append(f"{where}: pid/tid must be integers, got {pid!r}/{tid!r}")
+            continue
+        used_pids.add(pid)
+
+        track = (pid, tid)
+        if ts < last_ts.get(track, 0):
+            errors.append(
+                f"{where}: ts {ts} goes backwards on track pid={pid} tid={tid} "
+                f"(previous {last_ts[track]})")
+        last_ts[track] = ts
+
+        if ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"), ev.get("name"))
+            if key[1] is None:
+                errors.append(f"{where}: async {ph} event has no id")
+                continue
+            if ph == "b":
+                open_pairs[key] = open_pairs.get(key, 0) + 1
+            else:
+                open_pairs[key] = open_pairs.get(key, 0) - 1
+                if open_pairs[key] < 0:
+                    errors.append(
+                        f"{where}: async end before begin for cat={key[0]!r} "
+                        f"id={key[1]!r} name={key[2]!r}")
+
+    for key, depth in sorted(open_pairs.items(), key=repr):
+        if depth > 0:
+            errors.append(
+                f"unbalanced async pair: {depth} unclosed begin(s) for "
+                f"cat={key[0]!r} id={key[1]!r} name={key[2]!r}")
+    for pid in sorted(used_pids - named_pids):
+        errors.append(f"pid {pid} has timeline events but no process_name metadata")
+
+
+def validate_metrics(data, errors):
+    period = data.get("period_ns")
+    times = data.get("times_ns")
+    series = data.get("series")
+    if not isinstance(period, int) or period <= 0:
+        errors.append(f"period_ns must be a positive integer, got {period!r}")
+    if not isinstance(times, list):
+        errors.append("times_ns missing or not a list")
+        return
+    for i in range(1, len(times)):
+        if times[i] <= times[i - 1]:
+            errors.append(f"times_ns not strictly increasing at index {i}")
+            break
+    if not isinstance(series, dict):
+        errors.append("series missing or not an object")
+        return
+    for name, values in series.items():
+        if not isinstance(values, list) or len(values) != len(times):
+            errors.append(
+                f"series {name!r}: {len(values) if isinstance(values, list) else '?'} "
+                f"values for {len(times)} sample times")
+
+
+def validate_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable or invalid JSON: {e}"]
+
+    errors = []
+    if isinstance(data, dict) and "traceEvents" in data:
+        validate_trace(data, errors)
+    elif isinstance(data, dict) and "series" in data:
+        validate_metrics(data, errors)
+    else:
+        errors.append("neither a Chrome trace (traceEvents) nor a metrics payload (series)")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    failed = False
+    for path in argv[1:]:
+        errors = validate_file(path)
+        if errors:
+            failed = True
+            print(f"FAIL {path}")
+            for e in errors[:20]:
+                print(f"  {e}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            print(f"OK   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -54,23 +54,31 @@ void Cluster::SubmitQuery(const QueryWork& work, IndexServer::QueryDoneFn done) 
   pending->tla_submit = sim_->Now();
   pending->tla_machine = static_cast<int>(next_tla_);
   next_tla_ = (next_tla_ + 1) % tla_machines_.size();
+  if (tracer_ != nullptr && pending->work.trace_ctx == 0) {
+    // One context for the whole tree: TLA forward, fabric hops, every leaf's
+    // stages and I/O, MLA merge, final reply. Leaves adopt it via QueryWork.
+    pending->work.trace_ctx = tracer_->BeginTrace("tla", pending->tla_submit);
+  }
 
   // TLA request processing, then forward to a row (round-robin).
   pending->row = next_row_;
   next_row_ = (next_row_ + 1) % options_.topology.rows;
   SimMachine* tla = tla_machines_[static_cast<size_t>(pending->tla_machine)].get();
-  tla->SpawnThread("tla-fwd", TenantClass::kPrimary, JobId{},
-                   FromMicros(options_.tla_cpu_us), [this, pending](SimTime) {
-                     // Pick the MLA within the row (TLA load balancing).
-                     const int cols = options_.topology.columns;
-                     auto& cursor = next_mla_in_row_[static_cast<size_t>(pending->row)];
-                     pending->mla_node = pending->row * cols + static_cast<int>(cursor);
-                     cursor = (cursor + 1) % static_cast<size_t>(cols);
-                     fabric_->Send(tla_endpoint(pending->tla_machine),
-                                   index_endpoint(pending->mla_node),
-                                   options_.fabric.request_bytes, NetClass::kPrimary,
-                                   [this, pending](SimTime) { RunMla(pending); });
-                   });
+  tla->SpawnThread(
+      "tla-fwd", TenantClass::kPrimary, JobId{}, FromMicros(options_.tla_cpu_us),
+      [this, pending](SimTime) {
+        // Pick the MLA within the row (TLA load balancing).
+        const int cols = options_.topology.columns;
+        auto& cursor = next_mla_in_row_[static_cast<size_t>(pending->row)];
+        pending->mla_node = pending->row * cols + static_cast<int>(cursor);
+        cursor = (cursor + 1) % static_cast<size_t>(cols);
+        fabric_->Send(tla_endpoint(pending->tla_machine),
+                      index_endpoint(pending->mla_node),
+                      options_.fabric.request_bytes, NetClass::kPrimary,
+                      [this, pending](SimTime) { RunMla(pending); },
+                      pending->work.trace_ctx);
+      },
+      pending->work.trace_ctx);
 }
 
 void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
@@ -91,14 +99,16 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
           // Merge work on the MLA machine for this leaf response.
           mla.machine().SpawnThread(
               "mla-merge", TenantClass::kPrimary, mla.server().job(),
-              FromMicros(options_.mla_merge_cpu_us), [this, pending, &mla](SimTime) {
+              FromMicros(options_.mla_merge_cpu_us),
+              [this, pending, &mla](SimTime) {
                 if (--pending->leaves_left > 0) {
                   return;
                 }
                 // All leaves in: finalize on the MLA, reply to the TLA.
                 mla.machine().SpawnThread(
                     "mla-final", TenantClass::kPrimary, mla.server().job(),
-                    FromMicros(options_.mla_finalize_cpu_us), [this, pending](SimTime now) {
+                    FromMicros(options_.mla_finalize_cpu_us),
+                    [this, pending](SimTime now) {
                       mla_latency_ms_.Add(ToMillis(now - pending->mla_arrival));
                       fabric_->Send(
                           index_endpoint(pending->mla_node),
@@ -109,9 +119,14 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
                                 tla_machines_[static_cast<size_t>(pending->tla_machine)].get();
                             tla->SpawnThread(
                                 "tla-reply", TenantClass::kPrimary, JobId{},
-                                FromMicros(options_.tla_cpu_us), [this, pending](SimTime end) {
+                                FromMicros(options_.tla_cpu_us),
+                                [this, pending](SimTime end) {
                                   ++queries_completed_;
                                   tla_latency_ms_.Add(ToMillis(end - pending->tla_submit));
+                                  if (tracer_ != nullptr && pending->work.trace_ctx != 0) {
+                                    tracer_->EndTrace(pending->work.trace_ctx, end,
+                                                      /*dropped=*/false);
+                                  }
                                   if (pending->done) {
                                     QueryResult result;
                                     result.id = pending->work.id;
@@ -120,10 +135,14 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
                                     result.latency_ms = ToMillis(end - pending->tla_submit);
                                     pending->done(result);
                                   }
-                                });
-                          });
-                    });
-              });
+                                },
+                                pending->work.trace_ctx);
+                          },
+                          pending->work.trace_ctx);
+                    },
+                    pending->work.trace_ctx);
+              },
+              pending->work.trace_ctx);
         };
         if (local) {
           merge(sim_->Now());
@@ -132,7 +151,7 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
           // columns' responses converge on the MLA's RX link — incast).
           fabric_->Send(index_endpoint(leaf_index), index_endpoint(pending->mla_node),
                         options_.fabric.leaf_response_bytes, NetClass::kPrimary,
-                        std::move(merge));
+                        std::move(merge), pending->work.trace_ctx);
         }
       });
     };
@@ -141,7 +160,7 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
     } else {
       fabric_->Send(index_endpoint(pending->mla_node), index_endpoint(leaf_index),
                     options_.fabric.request_bytes, NetClass::kPrimary,
-                    [run_leaf](SimTime) { run_leaf(); });
+                    [run_leaf](SimTime) { run_leaf(); }, pending->work.trace_ctx);
     }
   }
 }
@@ -161,12 +180,21 @@ int64_t Cluster::SecondaryEgressBytes() const {
   return bytes;
 }
 
+void Cluster::EnableTracing(Tracer* tracer) {
+  tracer_ = tracer;
+  fabric_->EnableTracing(tracer);
+  for (auto& node : index_nodes_) {
+    node->EnableTracing(tracer);
+  }
+  for (auto& tla : tla_machines_) {
+    tla->EnableTracing(tracer);
+  }
+}
+
 LatencyRecorder Cluster::MergedLeafLatency() const {
   LatencyRecorder merged;
   for (const auto& node : index_nodes_) {
-    for (double sample : node->server().stats().latency_ms.samples()) {
-      merged.Add(sample);
-    }
+    merged.Merge(node->server().stats().latency_ms);
   }
   return merged;
 }

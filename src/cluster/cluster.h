@@ -58,6 +58,12 @@ class Cluster {
   // Runs `fn` on every index node (e.g. to start bullies or PerfIso).
   void ForEachIndexNode(const std::function<void(IndexNodeRig&)>& fn);
 
+  // Enables tracing everywhere: fabric tracks, every index node (machine,
+  // server, volumes, schedulers), every TLA machine. Queries submitted
+  // afterwards carry one "tla" trace context end to end — TLA forward, fabric
+  // hops, every leaf's stages and I/O, MLA merge, and the final reply.
+  void EnableTracing(Tracer* tracer);
+
   int NumIndexNodes() const { return static_cast<int>(index_nodes_.size()); }
   IndexNodeRig& index_node(int i) { return *index_nodes_[static_cast<size_t>(i)]; }
 
@@ -98,6 +104,7 @@ class Cluster {
   Simulator* sim_;
   ClusterOptions options_;
   Rng rng_;
+  Tracer* tracer_ = nullptr;
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<IndexNodeRig>> index_nodes_;  // row-major [row][col]
   std::vector<std::unique_ptr<SimMachine>> tla_machines_;

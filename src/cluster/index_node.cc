@@ -87,7 +87,23 @@ Status IndexNodeRig::StartPerfIso(const PerfIsoConfig& config) {
   perfiso_ = std::make_unique<PerfIsoController>(platform_.get(), config);
   PERFISO_RETURN_IF_ERROR(perfiso_->Initialize());
   perfiso_->AttachToSimulator(sim_);
+  if (tracer_ != nullptr) {
+    perfiso_->EnableTracing(tracer_, machine_pid_);
+  }
   return OkStatus();
+}
+
+void IndexNodeRig::EnableTracing(Tracer* tracer) {
+  tracer_ = tracer;
+  machine_pid_ = machine_->EnableTracing(tracer);
+  server_->EnableTracing(tracer, machine_pid_);
+  const int ssd_pid = ssd_volume_->EnableTracing(tracer);
+  ssd_sched_->EnableTracing(tracer, ssd_pid);
+  const int hdd_pid = hdd_volume_->EnableTracing(tracer);
+  hdd_sched_->EnableTracing(tracer, hdd_pid);
+  if (perfiso_ != nullptr) {
+    perfiso_->EnableTracing(tracer, machine_pid_);
+  }
 }
 
 double IndexNodeRig::SecondaryProgress() const {

@@ -56,6 +56,11 @@ class IndexNodeRig {
   // Attaches a PerfIso controller with `config` and starts its poll loops.
   Status StartPerfIso(const PerfIsoConfig& config);
 
+  // Registers this rig's machine, index server, volumes, and I/O schedulers
+  // with the tracer. Call before submitting traced queries; a PerfIso
+  // controller started afterwards is wired automatically (decision instants).
+  void EnableTracing(Tracer* tracer);
+
   // Accessors.
   Simulator* sim() const { return sim_; }
   SimMachine& machine() { return *machine_; }
@@ -94,6 +99,8 @@ class IndexNodeRig {
   std::unique_ptr<IndexServer> server_;
   std::unique_ptr<SimPlatform> platform_;
   std::unique_ptr<PerfIsoController> perfiso_;
+  Tracer* tracer_ = nullptr;
+  int machine_pid_ = 0;
   JobId secondary_job_;
   Rng rng_;
   std::unique_ptr<CpuBully> cpu_bully_;

@@ -48,6 +48,11 @@ void DiskDevice::Submit(IoRequest request) {
   TryStart();
 }
 
+void DiskDevice::EnableTracing(Tracer* tracer, int process) {
+  tracer_ = tracer;
+  track_ = tracer->RegisterTrack(process, name_);
+}
+
 size_t DiskDevice::AllocInflightSlot() {
   if (!free_slots_.empty()) {
     const size_t slot = free_slots_.back();
@@ -70,16 +75,29 @@ void DiskDevice::TryStart() {
     const int64_t bytes = request.bytes;
     inflight_[slot].started = sim_->Now();
     inflight_[slot].service = service;
+    inflight_[slot].trace_ctx = request.trace_ctx;
+    if (tracer_ != nullptr && request.trace_ctx != 0 &&
+        sim_->Now() > request.submit_time) {
+      tracer_->Span(request.trace_ctx, "disk.queue", SpanCategory::kDiskQueue,
+                    track_, request.submit_time, sim_->Now());
+    }
     // Capture only what the completion needs (this + slot + bytes + the
     // callback) so the event stays within the engine's inline budget; disk
     // completions are the fattest hot-path event, so guard the budget at
-    // compile time rather than spilling silently.
+    // compile time rather than spilling silently. The trace context rides in
+    // the inflight slot for the same reason.
     auto completion = [this, slot, bytes, done = std::move(request.on_complete)] {
+      const SimTime started = inflight_[slot].started;
+      const uint64_t trace_ctx = inflight_[slot].trace_ctx;
       inflight_[slot] = InFlight{};
       free_slots_.push_back(slot);
       --active_;
       ++completed_ops_;
       completed_bytes_ += bytes;
+      if (tracer_ != nullptr && trace_ctx != 0) {
+        tracer_->Span(trace_ctx, "disk.service", SpanCategory::kService, track_,
+                      started, sim_->Now());
+      }
       if (done) {
         done(sim_->Now());
       }
@@ -171,6 +189,14 @@ int64_t StripedVolume::CompletedBytes() const {
 }
 
 const OwnerIoStats& StripedVolume::OwnerStats(int owner) const { return owner_stats_[owner]; }
+
+int StripedVolume::EnableTracing(Tracer* tracer) {
+  const int pid = tracer->RegisterProcess(name_);
+  for (const auto& drive : drives_) {
+    drive->EnableTracing(tracer, pid);
+  }
+  return pid;
+}
 
 double StripedVolume::NominalBandwidth() const {
   return drives_.empty() ? 0 : drives_[0]->spec().bandwidth_bps * num_drives();

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/util/sim_time.h"
 #include "src/util/stats.h"
@@ -49,6 +50,9 @@ struct IoRequest {
   bool sequential = false;
   std::function<void(SimTime)> on_complete;
   SimTime submit_time = 0;  // filled by the volume on submission
+  // Query trace this request belongs to (0 = untraced): its queueing and
+  // service become disk-queue/service spans on the serving drive's track.
+  uint64_t trace_ctx = 0;
 };
 
 // Cumulative per-owner I/O accounting.
@@ -83,6 +87,10 @@ class DiskDevice {
   // Service time for a request on an otherwise-idle device.
   SimDuration ServiceTime(const IoRequest& request) const;
 
+  // Registers this drive as a track of `process` (its volume); traced
+  // requests then report queue/service spans there.
+  void EnableTracing(Tracer* tracer, int process);
+
  private:
   void TryStart();
   size_t AllocInflightSlot();
@@ -90,6 +98,8 @@ class DiskDevice {
   Simulator* sim_;
   DiskSpec spec_;
   std::string name_;
+  Tracer* tracer_ = nullptr;
+  int32_t track_ = Tracer::kNoTrack;
   std::deque<IoRequest> queue_;
   // Requests inside the device: the completion event (so CancelAll can pull
   // it out of the simulator queue) and the dispatch time + service charged to
@@ -101,6 +111,9 @@ class DiskDevice {
     EventHandle done_event;  // NOLINT(perfiso-LIFE-001)
     SimTime started = 0;
     SimDuration service = 0;
+    // Stored here rather than captured: the completion lambda exactly fills
+    // the event pool's inline budget.
+    uint64_t trace_ctx = 0;
   };
   std::vector<InFlight> inflight_;
   std::vector<size_t> free_slots_;
@@ -134,6 +147,10 @@ class StripedVolume {
 
   // Aggregate nominal bandwidth of the stripe, bytes/sec.
   double NominalBandwidth() const;
+
+  // Registers the volume as a tracer process with one track per drive;
+  // returns the process id so a fronting scheduler can add its own track.
+  int EnableTracing(Tracer* tracer);
 
  private:
   Simulator* sim_;

@@ -108,8 +108,16 @@ void IoScheduler::Submit(IoRequest request) {
     }
     Pump();
   };
+  // Stamp scheduler entry so the dispatch below can report queueing time;
+  // the volume overwrites this with the dispatch time on its own Submit.
+  request.submit_time = submitted;
   owner.queue.push_back(std::move(request));
   Pump();
+}
+
+void IoScheduler::EnableTracing(Tracer* tracer, int process) {
+  tracer_ = tracer;
+  track_ = tracer->RegisterTrack(process, "sched");
 }
 
 bool IoScheduler::CapsAllow(Owner& owner, const IoRequest& request, SimTime now,
@@ -216,6 +224,11 @@ bool IoScheduler::ServeBand(int priority, SimTime now, SimTime* earliest_retry) 
       ChargeCaps(owner, request, now);
       ++owner.stats.dispatched;
       ++outstanding_;
+      if (tracer_ != nullptr && request.trace_ctx != 0 &&
+          now > request.submit_time) {
+        tracer_->Span(request.trace_ctx, "io.sched.queue",
+                      SpanCategory::kDiskQueue, track_, request.submit_time, now);
+      }
       volume_->Submit(std::move(request));
       progressed = true;
     }

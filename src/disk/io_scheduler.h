@@ -72,6 +72,10 @@ class IoScheduler {
 
   StripedVolume* volume() const { return volume_; }
 
+  // Adds a scheduler track to the volume's tracer process; traced requests
+  // then report their scheduler queueing time there.
+  void EnableTracing(Tracer* tracer, int process);
+
  private:
   struct Owner {
     std::string name;
@@ -95,6 +99,8 @@ class IoScheduler {
 
   Simulator* sim_;
   StripedVolume* volume_;
+  Tracer* tracer_ = nullptr;
+  int32_t track_ = Tracer::kNoTrack;
   int max_outstanding_;
   int outstanding_ = 0;
   std::map<int, Owner> owners_;

@@ -31,6 +31,8 @@ struct IndexServer::QueryState {
   std::vector<EventHandle> hedge_events;
   int snippet_reads_left = 0;
   bool finished = false;
+  uint64_t trace_ctx = 0;
+  bool owns_trace = false;  // minted here (standalone) vs adopted from the TLA
 };
 
 namespace {
@@ -56,10 +58,20 @@ IndexServer::IndexServer(SimMachine* machine, IoScheduler* ssd, IoScheduler* hdd
 
 void IndexServer::ResetStats() { stats_ = Stats{}; }
 
+void IndexServer::EnableTracing(Tracer* tracer, int process) {
+  tracer_ = tracer;
+  track_ = tracer->RegisterTrack(process, "indexserve");
+}
+
 void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
   ++stats_.submitted;
   if (inflight_ >= config_.max_inflight) {
     ++stats_.dropped_admission;
+    if (tracer_ != nullptr && work.trace_ctx == 0) {
+      // Zero-length dropped trace so rejected queries appear in summaries.
+      const SimTime now = machine_->sim()->Now();
+      tracer_->EndTrace(tracer_->BeginTrace("isq", now), now, /*dropped=*/true);
+    }
     if (done) {
       QueryResult result;
       result.id = work.id;
@@ -79,6 +91,12 @@ void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
   // what makes the MLA see a max over independent leaf latencies [15].
   q->rng = Rng(work.seed ^ (seed_ * 0x9e3779b97f4a7c15ULL));
   q->arrival = machine_->sim()->Now();
+  if (work.trace_ctx != 0) {
+    q->trace_ctx = work.trace_ctx;
+  } else if (tracer_ != nullptr) {
+    q->trace_ctx = tracer_->BeginTrace("isq", q->arrival);
+    q->owns_trace = true;
+  }
   q->chunks_left = work.fanout;
   q->chunk_done.assign(static_cast<size_t>(work.fanout), false);
   q->chunk_hedged.assign(static_cast<size_t>(work.fanout), false);
@@ -87,7 +105,7 @@ void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
   // Network receive path runs in kernel context (OS tenant, outside the job).
   machine_->SpawnThread("is-recv", TenantClass::kOs, JobId{},
                         ScaledUs(config_.receive_cpu_us, 1.0),
-                        [this, q](SimTime) { StartParse(q); });
+                        [this, q](SimTime) { StartParse(q); }, q->trace_ctx);
 }
 
 bool IndexServer::ExpireIfOverdue(const std::shared_ptr<QueryState>& q) {
@@ -112,6 +130,9 @@ bool IndexServer::ExpireIfOverdue(const std::shared_ptr<QueryState>& q) {
     result.dropped = true;
     q->done(result);
   }
+  if (q->owns_trace) {
+    tracer_->EndTrace(q->trace_ctx, machine_->sim()->Now(), /*dropped=*/true);
+  }
   // Terminal state: release the completion callback (it may capture caller
   // state) so the query holds nothing beyond its own fields.
   q->done = nullptr;
@@ -134,7 +155,7 @@ void IndexServer::StartParse(const std::shared_ptr<QueryState>& q) {
   machine_->SpawnThread(
       "is-parse", TenantClass::kPrimary, job_,
       ScaledUs(config_.parse_cpu_us + config_.understand_cpu_us, q->work.size_factor),
-      [this, q](SimTime) { StartFanout(q); });
+      [this, q](SimTime) { StartFanout(q); }, q->trace_ctx);
 }
 
 void IndexServer::StartFanout(const std::shared_ptr<QueryState>& q) {
@@ -154,28 +175,31 @@ void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bo
                q->work.size_factor));
   const bool miss = q->rng.Bernoulli(config_.chunk_miss_rate);
 
-  machine_->SpawnThread("is-chunk", TenantClass::kPrimary, job_, cpu,
-                        [this, q, chunk, miss](SimTime) {
-                          if (q->finished) {
-                            return;
-                          }
-                          if (!miss) {
-                            ChunkDone(q, chunk);
-                            return;
-                          }
-                          IoRequest read;
-                          read.owner = kIoOwnerIndexData;
-                          read.op = IoOp::kRead;
-                          read.bytes = config_.chunk_read_bytes;
-                          read.sequential = false;
-                          read.on_complete = [this, q, chunk](SimTime) {
-                            machine_->SpawnThread(
-                                "is-chunk-post", TenantClass::kPrimary, job_,
-                                ScaledUs(config_.chunk_post_read_cpu_us, q->work.size_factor),
-                                [this, q, chunk](SimTime) { ChunkDone(q, chunk); });
-                          };
-                          ssd_->Submit(std::move(read));
-                        });
+  machine_->SpawnThread(
+      "is-chunk", TenantClass::kPrimary, job_, cpu,
+      [this, q, chunk, miss](SimTime) {
+        if (q->finished) {
+          return;
+        }
+        if (!miss) {
+          ChunkDone(q, chunk);
+          return;
+        }
+        IoRequest read;
+        read.owner = kIoOwnerIndexData;
+        read.op = IoOp::kRead;
+        read.bytes = config_.chunk_read_bytes;
+        read.sequential = false;
+        read.trace_ctx = q->trace_ctx;
+        read.on_complete = [this, q, chunk](SimTime) {
+          machine_->SpawnThread(
+              "is-chunk-post", TenantClass::kPrimary, job_,
+              ScaledUs(config_.chunk_post_read_cpu_us, q->work.size_factor),
+              [this, q, chunk](SimTime) { ChunkDone(q, chunk); }, q->trace_ctx);
+        };
+        ssd_->Submit(std::move(read));
+      },
+      q->trace_ctx);
 
   if (!is_hedge) {
     ++chunks_started_;
@@ -196,6 +220,9 @@ void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bo
               !q->chunk_hedged[static_cast<size_t>(chunk)] && budget_ok) {
             q->chunk_hedged[static_cast<size_t>(chunk)] = true;
             ++stats_.hedges_issued;
+            if (tracer_ != nullptr) {
+              tracer_->Instant("hedge.issued", track_, machine_->sim()->Now());
+            }
             StartChunk(q, chunk, /*is_hedge=*/true);
           }
         });
@@ -224,7 +251,7 @@ void IndexServer::StartRank(const std::shared_ptr<QueryState>& q) {
       1.0, q->rng.LogNormal(std::log(config_.rank_cpu_median_us), config_.rank_cpu_sigma) *
                q->work.size_factor));
   machine_->SpawnThread("is-rank", TenantClass::kPrimary, job_, cpu,
-                        [this, q](SimTime) { StartSnippets(q); });
+                        [this, q](SimTime) { StartSnippets(q); }, q->trace_ctx);
 }
 
 void IndexServer::StartSnippets(const std::shared_ptr<QueryState>& q) {
@@ -251,6 +278,7 @@ void IndexServer::SubmitSnippetRead(const std::shared_ptr<QueryState>& q) {
   read.op = IoOp::kRead;
   read.bytes = config_.snippet_read_bytes;
   read.sequential = false;
+  read.trace_ctx = q->trace_ctx;
   read.on_complete = [this, q](SimTime) {
     if (q->finished) {
       return;
@@ -261,7 +289,7 @@ void IndexServer::SubmitSnippetRead(const std::shared_ptr<QueryState>& q) {
     }
     machine_->SpawnThread("is-snippet", TenantClass::kPrimary, job_,
                           ScaledUs(config_.snippet_cpu_us, q->work.size_factor),
-                          [this, q](SimTime) { FinishQuery(q); });
+                          [this, q](SimTime) { FinishQuery(q); }, q->trace_ctx);
   };
   ssd_->Submit(std::move(read));
 }
@@ -275,6 +303,9 @@ void IndexServer::FinishQuery(const std::shared_ptr<QueryState>& q) {
   if (hdd_ != nullptr &&
       log_buffered_bytes_ + log_inflight_bytes_ >= config_.log_buffer_cap_bytes) {
     ++stats_.log_stalls;
+    if (tracer_ != nullptr) {
+      tracer_->Instant("log.stall", track_, machine_->sim()->Now());
+    }
     log_waiters_.push_back(q);
     return;
   }
@@ -305,6 +336,9 @@ void IndexServer::CompleteNow(const std::shared_ptr<QueryState>& q) {
   } else {
     ++stats_.completed;
     stats_.latency_ms.Add(result.latency_ms);
+  }
+  if (q->owns_trace) {
+    tracer_->EndTrace(q->trace_ctx, result.finish_time, result.dropped);
   }
   if (q->done) {
     q->done(result);

@@ -131,6 +131,13 @@ class IndexServer {
   // Clears counters/latencies (used to discard warm-up, §5.3).
   void ResetStats();
 
+  // Registers an event track under the machine's tracer process (hedge
+  // issues, log stalls). Queries submitted afterwards carry a trace context
+  // through every stage: adopted from QueryWork::trace_ctx when the cluster
+  // minted one, otherwise minted here with scope "isq" and ended at
+  // completion, timeout, or admission drop.
+  void EnableTracing(Tracer* tracer, int process);
+
   int inflight() const { return inflight_; }
   // Number of QueryState objects currently alive. Test hook for the lifetime
   // regression: after the simulator fully drains and all completion events
@@ -166,6 +173,8 @@ class IndexServer {
   SimMachine* machine_;
   IoScheduler* ssd_;
   IoScheduler* hdd_;
+  Tracer* tracer_ = nullptr;
+  int32_t track_ = Tracer::kNoTrack;
   IndexServeConfig config_;
   Rng rng_;
   uint64_t seed_;

@@ -45,7 +45,7 @@ void Fabric::SetEgressBucketProvider(int endpoint, Link::EgressBucketFn provider
 }
 
 void Fabric::Send(int src, int dst, int64_t bytes, NetClass net_class,
-                  Flow::DeliveredFn done) {
+                  Flow::DeliveredFn done, uint64_t trace_ctx) {
   assert(src >= 0 && src < num_endpoints());
   assert(dst >= 0 && dst < num_endpoints());
   auto flow = std::make_shared<Flow>();
@@ -56,6 +56,7 @@ void Fabric::Send(int src, int dst, int64_t bytes, NetClass net_class,
   flow->net_class = net_class;
   flow->submit_time = sim_->Now();
   flow->on_delivered = std::move(done);
+  flow->trace_ctx = trace_ctx;
   ++flows_in_flight_;
 
   auto& src_stats = endpoints_[static_cast<size_t>(src)]->stats;
@@ -95,14 +96,23 @@ void Fabric::RunHop(const std::shared_ptr<Flow>& flow, int hop) {
       link = racks_[static_cast<size_t>(dst.rack)]->down.get();
       break;
     case 3:
+      if (tracer_ != nullptr && flow->trace_ctx != 0 && config_.base_latency > 0) {
+        // RunHop(3) fires exactly base_latency after the last switch hop.
+        tracer_->Span(flow->trace_ctx, "net.propagate", SpanCategory::kNetTransit,
+                      dst.rx_track, sim_->Now() - config_.base_latency, sim_->Now());
+      }
       link = &dst.dev->rx();
       break;
     default:
       assert(false);
       return;
   }
+  flow->hop_enter = sim_->Now();
   const int next = hop + 1;
-  link->Enqueue(flow.get(), [this, flow, next](Flow*, SimTime now) {
+  link->Enqueue(flow.get(), [this, flow, hop, next](Flow*, SimTime now) {
+    if (tracer_ != nullptr && flow->trace_ctx != 0 && now > flow->hop_enter) {
+      EmitHopSpan(*flow, hop, now);
+    }
     switch (next) {
       case 1:
       case 2:
@@ -118,6 +128,45 @@ void Fabric::RunHop(const std::shared_ptr<Flow>& flow, int hop) {
         return;
     }
   });
+}
+
+void Fabric::EmitHopSpan(const Flow& flow, int hop, SimTime now) {
+  const Endpoint& src = *endpoints_[static_cast<size_t>(flow.src)];
+  const Endpoint& dst = *endpoints_[static_cast<size_t>(flow.dst)];
+  switch (hop) {
+    case 0:
+      tracer_->Span(flow.trace_ctx, "net.tx", SpanCategory::kSerialization,
+                    src.tx_track, flow.hop_enter, now);
+      break;
+    case 1:
+      tracer_->Span(flow.trace_ctx, "net.uplink", SpanCategory::kNetTransit,
+                    racks_[static_cast<size_t>(src.rack)]->up_track, flow.hop_enter, now);
+      break;
+    case 2:
+      tracer_->Span(flow.trace_ctx, "net.downlink", SpanCategory::kNetTransit,
+                    racks_[static_cast<size_t>(dst.rack)]->down_track, flow.hop_enter, now);
+      break;
+    case 3:
+      tracer_->Span(flow.trace_ctx, "net.rx", SpanCategory::kSerialization,
+                    dst.rx_track, flow.hop_enter, now);
+      break;
+    default:
+      break;
+  }
+}
+
+void Fabric::EnableTracing(Tracer* tracer) {
+  tracer_ = tracer;
+  const int pid = tracer->RegisterProcess("fabric");
+  for (auto& ep : endpoints_) {
+    ep->tx_track = tracer->RegisterTrack(pid, ep->name + "-tx");
+    ep->rx_track = tracer->RegisterTrack(pid, ep->name + "-rx");
+  }
+  for (size_t r = 0; r < racks_.size(); ++r) {
+    const std::string prefix = "rack" + std::to_string(r);
+    racks_[r]->up_track = tracer->RegisterTrack(pid, prefix + "-up");
+    racks_[r]->down_track = tracer->RegisterTrack(pid, prefix + "-down");
+  }
 }
 
 void Fabric::Deliver(const std::shared_ptr<Flow>& flow, SimTime now) {

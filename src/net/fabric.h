@@ -20,6 +20,7 @@
 
 #include "src/net/flow.h"
 #include "src/net/netdev.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/util/stats.h"
 
@@ -56,7 +57,14 @@ class Fabric {
 
   // Sends `bytes` from `src` to `dst` and fires `done` when the last byte
   // arrives. src == dst delivers immediately (loopback skips the NIC).
-  void Send(int src, int dst, int64_t bytes, NetClass net_class, Flow::DeliveredFn done);
+  // `trace_ctx` ties the flow to a query trace (0 = untraced).
+  void Send(int src, int dst, int64_t bytes, NetClass net_class, Flow::DeliveredFn done,
+            uint64_t trace_ctx = 0);
+
+  // Registers fabric tracks (per-endpoint NIC tx/rx, per-rack uplinks) with
+  // the tracer; traced flows then report per-hop serialization/transit spans.
+  // Call after all machines are attached.
+  void EnableTracing(Tracer* tracer);
 
   int num_endpoints() const { return static_cast<int>(endpoints_.size()); }
   int num_racks() const { return static_cast<int>(racks_.size()); }
@@ -89,20 +97,27 @@ class Fabric {
     int rack = 0;
     std::unique_ptr<NetDev> dev;
     EndpointStats stats;
+    int32_t tx_track = Tracer::kNoTrack;
+    int32_t rx_track = Tracer::kNoTrack;
   };
   struct Rack {
     std::unique_ptr<Link> up;    // rack -> core
     std::unique_ptr<Link> down;  // core -> rack
+    int32_t up_track = Tracer::kNoTrack;
+    int32_t down_track = Tracer::kNoTrack;
   };
 
   void EnsureRack(int rack);
   // Advances `flow` to hop `hop` of its path (0 = src TX, then uplinks, then
   // propagation + dst RX); delivers and reclaims the flow after the last hop.
   void RunHop(const std::shared_ptr<Flow>& flow, int hop);
+  // Reports the hop the flow just finished as a span on that hop's track.
+  void EmitHopSpan(const Flow& flow, int hop, SimTime now);
   void Deliver(const std::shared_ptr<Flow>& flow, SimTime now);
 
   Simulator* sim_;
   FabricConfig config_;
+  Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<std::unique_ptr<Rack>> racks_;
   uint64_t next_flow_id_ = 1;

@@ -36,6 +36,10 @@ struct Flow {
   NetClass net_class = NetClass::kPrimary;
   SimTime submit_time = 0;
   DeliveredFn on_delivered;
+  // Query trace this flow belongs to (0 = untraced): each hop becomes a
+  // serialization/transit span on the corresponding fabric track.
+  uint64_t trace_ctx = 0;
+  SimTime hop_enter = 0;  // when the flow entered its current hop
 
   // Per-hop serialization state, reset by each link when the flow enters it.
   int64_t remaining_on_link = 0;

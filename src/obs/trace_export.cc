@@ -1,0 +1,180 @@
+#include "src/obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "src/util/config.h"
+
+namespace perfiso {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Sim nanoseconds -> trace microseconds, keeping nanosecond precision.
+std::string FormatTs(SimTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03d", static_cast<long long>(ns / 1000),
+                static_cast<int>(ns % 1000));
+  return buf;
+}
+
+struct PendingEvent {
+  SimTime ts = 0;
+  std::string json;  // full event object
+};
+
+std::string AttributionArgs(const TailAttribution& a) {
+  std::ostringstream out;
+  out << "\"cpu_wait_ms\":" << FormatDouble(a.cpu_wait_ms)
+      << ",\"disk_queue_ms\":" << FormatDouble(a.disk_queue_ms)
+      << ",\"net_transit_ms\":" << FormatDouble(a.net_transit_ms)
+      << ",\"serialization_ms\":" << FormatDouble(a.serialization_ms)
+      << ",\"service_ms\":" << FormatDouble(a.service_ms)
+      << ",\"other_ms\":" << FormatDouble(a.other_ms);
+  return out.str();
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const Tracer& tracer) {
+  std::vector<PendingEvent> events;
+  std::ostringstream head;
+
+  // The synthetic "queries" process hosts per-query lifetime slices and any
+  // span recorded without a resource track.
+  const int queries_pid = static_cast<int>(tracer.process_names().size()) + 1;
+
+  // Metadata events lead the array unsorted (they carry no timeline position).
+  for (size_t p = 0; p < tracer.process_names().size(); ++p) {
+    head << ",\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << (p + 1)
+         << ",\"tid\":0,\"args\":{\"name\":\""
+         << JsonEscape(tracer.process_names()[p]) << "\"}}";
+  }
+  head << ",\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << queries_pid
+       << ",\"tid\":0,\"args\":{\"name\":\"queries\"}}";
+  for (size_t t = 0; t < tracer.tracks().size(); ++t) {
+    const Tracer::TrackInfo& track = tracer.tracks()[t];
+    head << ",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << track.process
+         << ",\"tid\":" << (t + 1) << ",\"args\":{\"name\":\""
+         << JsonEscape(track.name) << "\"}}";
+  }
+
+  const auto track_pid = [&](int32_t track) {
+    if (track < 1 || track > static_cast<int32_t>(tracer.tracks().size())) {
+      return queries_pid;
+    }
+    return tracer.tracks()[track - 1].process;
+  };
+  const auto track_tid = [&](int32_t track) {
+    if (track < 1 || track > static_cast<int32_t>(tracer.tracks().size())) {
+      return 0;
+    }
+    return static_cast<int>(track);
+  };
+
+  char idbuf[32];
+  for (const RetainedTrace* trace : tracer.Retained()) {
+    std::snprintf(idbuf, sizeof(idbuf), "0x%llx",
+                  static_cast<unsigned long long>(trace->ctx));
+    const std::string& scope = tracer.names()[trace->scope_id];
+    {
+      std::ostringstream e;
+      e << "{\"cat\":\"query\",\"ph\":\"b\",\"name\":\"" << JsonEscape(scope)
+        << "\",\"id\":\"" << idbuf << "\",\"pid\":" << queries_pid
+        << ",\"tid\":0,\"ts\":" << FormatTs(trace->begin)
+        << ",\"args\":{\"latency_ms\":" << FormatDouble(trace->latency_ms)
+        << ",\"dropped\":" << (trace->dropped ? "true" : "false") << ","
+        << AttributionArgs(trace->attribution) << "}}";
+      events.push_back(PendingEvent{trace->begin, e.str()});
+    }
+    for (const SpanRecord& span : trace->spans) {
+      const char* cat = SpanCategoryName(span.category);
+      const std::string& name = tracer.names()[span.name_id];
+      std::ostringstream b;
+      b << "{\"cat\":\"" << cat << "\",\"ph\":\"b\",\"name\":\"" << JsonEscape(name)
+        << "\",\"id\":\"" << idbuf << "\",\"pid\":" << track_pid(span.track)
+        << ",\"tid\":" << track_tid(span.track)
+        << ",\"ts\":" << FormatTs(span.start) << "}";
+      events.push_back(PendingEvent{span.start, b.str()});
+      std::ostringstream e;
+      e << "{\"cat\":\"" << cat << "\",\"ph\":\"e\",\"name\":\"" << JsonEscape(name)
+        << "\",\"id\":\"" << idbuf << "\",\"pid\":" << track_pid(span.track)
+        << ",\"tid\":" << track_tid(span.track)
+        << ",\"ts\":" << FormatTs(span.end) << "}";
+      events.push_back(PendingEvent{span.end, e.str()});
+    }
+    {
+      std::ostringstream e;
+      e << "{\"cat\":\"query\",\"ph\":\"e\",\"name\":\"" << JsonEscape(scope)
+        << "\",\"id\":\"" << idbuf << "\",\"pid\":" << queries_pid
+        << ",\"tid\":0,\"ts\":" << FormatTs(trace->end) << "}";
+      events.push_back(PendingEvent{trace->end, e.str()});
+    }
+  }
+
+  for (const InstantRecord& instant : tracer.instants()) {
+    std::ostringstream e;
+    e << "{\"ph\":\"i\",\"name\":\"" << JsonEscape(tracer.names()[instant.name_id])
+      << "\",\"pid\":" << track_pid(instant.track)
+      << ",\"tid\":" << track_tid(instant.track)
+      << ",\"ts\":" << FormatTs(instant.at) << ",\"s\":\"t\"}";
+    events.push_back(PendingEvent{instant.at, e.str()});
+  }
+
+  // Global timestamp sort (stable, so a zero-length span's "b" stays ahead of
+  // its "e") gives every track a monotone sequence.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const PendingEvent& a, const PendingEvent& b) {
+                     return a.ts < b.ts;
+                   });
+
+  std::ostringstream out;
+  const Tracer::Stats& stats = tracer.stats();
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"traces_begun\":" << stats.begun << ",\"traces_ended\":" << stats.ended
+      << ",\"traces_retained\":" << stats.retained
+      << ",\"spans_recorded\":" << stats.spans
+      << ",\"orphan_spans\":" << stats.orphan_spans
+      << ",\"dropped_traces\":" << stats.dropped_traces
+      << ",\"dropped_instants\":" << stats.dropped_instants
+      << "},\n\"traceEvents\":[{\"ph\":\"M\",\"name\":\"process_sort_index\","
+      << "\"pid\":" << queries_pid << ",\"tid\":0,\"args\":{\"sort_index\":-1}}"
+      << head.str();
+  for (const PendingEvent& event : events) {
+    out << ",\n" << event.json;
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace perfiso

@@ -1,0 +1,29 @@
+// Chrome-trace-event JSON export (the "JSON Array Format" with metadata),
+// loadable in ui.perfetto.dev or chrome://tracing.
+//
+// Mapping:
+//  * Each registered tracer process (a simulated machine, the fabric, the
+//    workload client) becomes a Perfetto process; each registered track (a
+//    core, a NIC, a drive) becomes a named thread of it.
+//  * Retained query traces export as async "b"/"e" pairs keyed by the trace
+//    context id, so overlapping spans (parallel chunk reads, fan-out flows)
+//    render without nesting violations; the enclosing query lifetime carries
+//    the tail attribution in its args.
+//  * Controller/throttler decisions, hedge issues, and arrivals are "i"
+//    instant events on their resource track.
+// Timestamps are sim-time microseconds; events are emitted globally sorted
+// by timestamp, so every track's sequence is monotone.
+#ifndef PERFISO_SRC_OBS_TRACE_EXPORT_H_
+#define PERFISO_SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace perfiso {
+
+std::string ExportChromeTrace(const Tracer& tracer);
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_OBS_TRACE_EXPORT_H_

@@ -18,6 +18,9 @@ Status PerfIsoController::Initialize() {
     io_throttler_ = std::make_unique<IoThrottler>(
         platform_, config_.io_limits,
         IoThrottler::Options{config_.io_window_polls, 0.5, 0.0});
+    if (tracer_ != nullptr) {
+      io_throttler_->EnableTracing(tracer_, track_);
+    }
     // Static I/O limits apply even when CPU isolation is switched off — they
     // are configuration, not dynamic control.
     Status io_status = io_throttler_->ApplyStaticLimits();
@@ -81,9 +84,15 @@ Status PerfIsoController::SetActive(bool active) {
   if (!active) {
     active_ = false;
     PERFISO_LOG(kInfo) << "perfiso: kill switch engaged, restoring OS defaults";
+    if (tracer_ != nullptr) {
+      tracer_->Instant("perfiso.deactivate", track_, platform_->NowNs());
+    }
     return RestoreDefaults();
   }
   active_ = true;
+  if (tracer_ != nullptr) {
+    tracer_->Instant("perfiso.activate", track_, platform_->NowNs());
+  }
   if (config_.egress_rate_cap_bps > 0) {
     // Like the static I/O limits above: platforms without an egress shaper
     // (LinuxPlatform needs tc/HTB privileges) degrade to a logged warning
@@ -121,6 +130,9 @@ void PerfIsoController::Poll() {
     std::optional<CpuSet> update = blind_policy_->Decide(idle);
     if (update.has_value()) {
       ++stats_.affinity_updates;
+      if (tracer_ != nullptr) {
+        tracer_->Instant("perfiso.affinity.update", track_, platform_->NowNs());
+      }
       Status status = platform_->SetSecondaryAffinity(*update);
       if (!status.ok()) {
         PERFISO_LOG(kWarning) << "perfiso: affinity update failed: " << status.ToString();
@@ -148,7 +160,18 @@ void PerfIsoController::CheckMemory() {
     if (platform_->KillSecondary().ok()) {
       ++stats_.memory_kills;
       secondary_killed_ = true;
+      if (tracer_ != nullptr) {
+        tracer_->Instant("perfiso.memory.kill", track_, platform_->NowNs());
+      }
     }
+  }
+}
+
+void PerfIsoController::EnableTracing(Tracer* tracer, int process) {
+  tracer_ = tracer;
+  track_ = tracer->RegisterTrack(process, "perfiso");
+  if (io_throttler_ != nullptr) {
+    io_throttler_->EnableTracing(tracer, track_);
   }
 }
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "src/obs/trace.h"
 #include "src/perfiso/io_throttler.h"
 #include "src/perfiso/perfiso_config.h"
 #include "src/perfiso/policy.h"
@@ -39,6 +40,11 @@ class PerfIsoController {
   // Convenience: arms periodic tasks on a simulator for both loops.
   void AttachToSimulator(Simulator* sim);
   void DetachFromSimulator();
+
+  // Registers a "perfiso" track under `process` (the machine the controller
+  // manages); control decisions — affinity updates, throttler promotions and
+  // demotions, memory kills, kill-switch flips — appear there as instants.
+  void EnableTracing(Tracer* tracer, int process);
 
   // Kill switch (§4.2): deactivate restores OS defaults immediately; PerfIso
   // can later be re-activated and resumes from its configuration.
@@ -75,6 +81,8 @@ class PerfIsoController {
 
   Platform* platform_;
   PerfIsoConfig config_;
+  Tracer* tracer_ = nullptr;
+  int32_t track_ = Tracer::kNoTrack;
   bool active_ = false;
   bool initialized_ = false;
   std::optional<BlindIsolationPolicy> blind_policy_;

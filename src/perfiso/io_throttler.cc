@@ -80,11 +80,21 @@ void IoThrottler::Poll(SimTime now) {
         PERFISO_LOG(kDebug) << "io-throttler: owner " << owner << " priority "
                             << state.current_priority << " -> " << desired
                             << " (deficit " << state.deficit << ")";
+        if (tracer_ != nullptr && desired > state.current_priority) {
+          tracer_->Instant("io.throttle.demote", track_, now);
+        } else if (tracer_ != nullptr) {
+          tracer_->Instant("io.throttle.promote", track_, now);
+        }
         state.current_priority = desired;
         ++adjustments_;
       }
     }
   }
+}
+
+void IoThrottler::EnableTracing(Tracer* tracer, int32_t track) {
+  tracer_ = tracer;
+  track_ = track;
 }
 
 double IoThrottler::SmoothedIops(int owner) const {

@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/perfiso/perfiso_config.h"
 #include "src/platform/platform.h"
 #include "src/util/stats.h"
@@ -42,6 +43,10 @@ class IoThrottler {
   // interval. `now` is used to convert op-count deltas into IOPS.
   void Poll(SimTime now);
 
+  // Priority demote/promote decisions become instants on `track` (the
+  // controller's track on its machine's process).
+  void EnableTracing(Tracer* tracer, int32_t track);
+
   // Per-owner introspection for tests and benches.
   double SmoothedIops(int owner) const;
   double Demand(int owner) const;
@@ -64,6 +69,8 @@ class IoThrottler {
 
   Platform* platform_;
   Options options_;
+  Tracer* tracer_ = nullptr;
+  int32_t track_ = Tracer::kNoTrack;
   std::map<int, OwnerState> owners_;
   double total_weight_ = 0;
   int64_t adjustments_ = 0;

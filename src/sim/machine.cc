@@ -206,7 +206,8 @@ int SimMachine::AllocThreadSlot() {
 }
 
 ThreadId SimMachine::SpawnThread(const std::string& thread_name, TenantClass tenant, JobId job,
-                                 SimDuration work, CompletionFn on_complete) {
+                                 SimDuration work, CompletionFn on_complete,
+                                 uint64_t trace_ctx) {
   const int tid = AllocThreadSlot();
   Thread& t = threads_[static_cast<size_t>(tid)];
   t = Thread{};
@@ -219,6 +220,7 @@ ThreadId SimMachine::SpawnThread(const std::string& thread_name, TenantClass ten
   t.affinity = all_cores_;
   t.on_complete = std::move(on_complete);
   t.core = -1;
+  t.trace_ctx = trace_ctx;
   if (t.job >= 0) {
     assert(jobs_[static_cast<size_t>(t.job)].live);
     jobs_[static_cast<size_t>(t.job)].threads.push_back(tid);
@@ -494,6 +496,11 @@ void SimMachine::Dispatch(int core, int tid, bool context_switch) {
   if (context_switch && t.tenant == TenantClass::kPrimary) {
     metrics_.primary_sched_delay_us.Add(ToMicros(sim_->Now() - t.ready_since));
   }
+  if (context_switch && tracer_ != nullptr && t.trace_ctx != 0 &&
+      sim_->Now() > t.ready_since) {
+    tracer_->Span(t.trace_ctx, "cpu.wait", SpanCategory::kCpuWait,
+                  first_core_track_ + core, t.ready_since, sim_->Now());
+  }
 
   SimDuration run_len = spec_.quantum;
   if (!t.loop) {
@@ -574,6 +581,10 @@ SimDuration SimMachine::ChargeRun(Thread& t) {
         }
         job.usage += work;
       }
+    }
+    if (tracer_ != nullptr && t.trace_ctx != 0) {
+      tracer_->Span(t.trace_ctx, "cpu.run", SpanCategory::kService,
+                    first_core_track_ + t.core, charge_start + overhead, now);
     }
   }
   return work;
@@ -869,6 +880,18 @@ Status SimMachine::CheckInvariants() const {
     return InternalError("busy time exceeds machine capacity");
   }
   return OkStatus();
+}
+
+int SimMachine::EnableTracing(Tracer* tracer) {
+  tracer_ = tracer;
+  const int pid = tracer->RegisterProcess(name_);
+  for (int core = 0; core < spec_.num_cores; ++core) {
+    const int track = tracer->RegisterTrack(pid, "core" + std::to_string(core));
+    if (core == 0) {
+      first_core_track_ = track;
+    }
+  }
+  return pid;
 }
 
 void SimMachine::SettleAccounting() {

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/util/cpu_set.h"
 #include "src/util/sim_time.h"
@@ -125,9 +126,11 @@ class SimMachine {
   // --- Threads ---------------------------------------------------------------
 
   // Spawns a thread that runs `work` ns of CPU then invokes `on_complete`.
-  // `job` may be invalid (unmanaged thread, full affinity).
+  // `job` may be invalid (unmanaged thread, full affinity). `trace_ctx`
+  // optionally ties the thread's scheduling to a query trace: its run-queue
+  // waits and executed slices become cpu-wait/service spans of that query.
   ThreadId SpawnThread(const std::string& name, TenantClass tenant, JobId job, SimDuration work,
-                       CompletionFn on_complete);
+                       CompletionFn on_complete, uint64_t trace_ctx = 0);
 
   // Spawns a thread with unbounded work (e.g. a CPU bully worker).
   ThreadId SpawnLoopThread(const std::string& name, TenantClass tenant, JobId job);
@@ -170,6 +173,15 @@ class SimMachine {
 
   const Metrics& metrics() const { return metrics_; }
 
+  // --- Observability ----------------------------------------------------------
+
+  // Registers this machine as a tracer process with one track per core.
+  // Afterwards, threads spawned with a trace context report cpu-wait and
+  // service spans on their core's track. Purely passive: enabling tracing
+  // changes no scheduling decision. Returns the machine's process id so
+  // co-located components (the index server) can add their own tracks.
+  int EnableTracing(Tracer* tracer);
+
   // Settles the partial CPU time of all currently-running slices into the
   // accounting counters. Call before snapshotting utilization so windows do
   // not absorb work consumed before the snapshot.
@@ -205,6 +217,7 @@ class SimMachine {
     SimTime slice_start = 0;
     SimDuration slice_overhead = 0;  // context-switch ns at the head of the slice
     SimDuration cpu_time = 0;
+    uint64_t trace_ctx = 0;  // query trace this thread's scheduling reports to
   };
 
   struct Job {
@@ -268,6 +281,8 @@ class SimMachine {
   Simulator* sim_;
   MachineSpec spec_;
   std::string name_;
+  Tracer* tracer_ = nullptr;
+  int32_t first_core_track_ = 0;  // core c's track is first_core_track_ + c
   CpuSet all_cores_;
   std::vector<Core> cores_;
   std::vector<Thread> threads_;

@@ -44,7 +44,22 @@ bool EventCallback::SimSanPoisonIntact() const {
 }
 #endif
 
-Simulator::~Simulator() = default;
+Simulator::Simulator() {
+  // Stamp log messages from this thread with this simulator's virtual time
+  // for as long as it lives; the displaced clock (an outer simulator's, or
+  // none) comes back on destruction.
+  const SimClockRegistration previous = SetThreadSimClock(
+      [](const void* ctx) {
+        return static_cast<uint64_t>(static_cast<const Simulator*>(ctx)->Now());
+      },
+      this);
+  prev_log_clock_fn_ = previous.fn;
+  prev_log_clock_ctx_ = previous.ctx;
+}
+
+Simulator::~Simulator() {
+  ClearThreadSimClock(SimClockRegistration{prev_log_clock_fn_, prev_log_clock_ctx_});
+}
 
 SimTime Simulator::ClampToNow(SimTime when) {
   if (when >= now_) {

@@ -139,7 +139,7 @@ class EventCallback {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -314,6 +314,10 @@ class Simulator {
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  // Log-stamp clock displaced by this simulator's registration (see
+  // util/logging.h); restored on destruction so nested simulators unwind.
+  uint64_t (*prev_log_clock_fn_)(const void*) = nullptr;
+  const void* prev_log_clock_ctx_ = nullptr;
   Stats stats_;
   std::vector<HeapItem> heap_;
   std::vector<std::unique_ptr<Event[]>> slabs_;

@@ -39,7 +39,26 @@ void SetLogSink(LogSink sink) {
   g_sink = std::move(sink);
 }
 
+namespace {
+thread_local SimClockRegistration t_sim_clock;
+}  // namespace
+
+SimClockRegistration SetThreadSimClock(uint64_t (*fn)(const void*), const void* ctx) {
+  const SimClockRegistration previous = t_sim_clock;
+  t_sim_clock = SimClockRegistration{fn, ctx};
+  return previous;
+}
+
+void ClearThreadSimClock(SimClockRegistration previous) { t_sim_clock = previous; }
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  if (t_sim_clock.fn != nullptr) {
+    const uint64_t now_ns = t_sim_clock.fn(t_sim_clock.ctx);
+    char stamp[48];
+    std::snprintf(stamp, sizeof(stamp), "[t=%.6fs] ",
+                  static_cast<double>(now_ns) / 1e9);
+    stream_ << stamp;
+  }
   // Strip the directory part; file:line is enough to locate the statement.
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {

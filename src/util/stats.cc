@@ -30,6 +30,15 @@ uint64_t LatencyRecorder::Digest() const {
   return hash;
 }
 
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  if (other.samples_.empty()) {
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
 void LatencyRecorder::Clear() {
   samples_.clear();
   sorted_.clear();
@@ -153,6 +162,30 @@ double Histogram::ApproxPercentile(double p) const {
     }
   }
   return hi_;
+}
+
+HistogramSnapshot SnapshotHistogram(const LatencyRecorder& recorder, double lo,
+                                    double hi, size_t buckets) {
+  assert(hi > lo && buckets > 0);
+  HistogramSnapshot snap;
+  snap.lo = lo;
+  snap.hi = hi;
+  snap.count = recorder.Count();
+  snap.min = recorder.Min();
+  snap.max = recorder.Max();
+  snap.mean = recorder.Mean();
+  snap.p50 = recorder.P50();
+  snap.p95 = recorder.P95();
+  snap.p99 = recorder.P99();
+  Histogram hist(lo, hi, buckets);
+  for (double sample : recorder.samples()) {
+    hist.Add(sample);
+  }
+  snap.bucket_counts.reserve(buckets);
+  for (size_t i = 0; i < buckets; ++i) {
+    snap.bucket_counts.push_back(hist.BucketCount(i));
+  }
+  return snap;
 }
 
 }  // namespace perfiso

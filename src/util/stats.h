@@ -22,6 +22,12 @@ class LatencyRecorder {
   void Add(double sample);
   void Clear();
 
+  // Appends `other`'s samples in their recorded order after this recorder's
+  // own. Merging preserves digest semantics: merging B into A yields the same
+  // digest as one recorder that saw A's samples then B's. Used by the
+  // timeseries sampler and the parallel bench runner to combine shards.
+  void Merge(const LatencyRecorder& other);
+
   size_t Count() const { return samples_.size(); }
   double Min() const;
   double Max() const;
@@ -107,6 +113,27 @@ class Histogram {
   std::vector<uint64_t> counts_;
   size_t total_ = 0;
 };
+
+// Point-in-time copy of a recorder's distribution, cheap to store in a
+// metrics timeseries: bucket counts plus the exact summary stats at snapshot
+// time (the recorder itself keeps the raw samples).
+struct HistogramSnapshot {
+  size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  std::vector<uint64_t> bucket_counts;  // uniform over [lo, hi)
+  double lo = 0;
+  double hi = 0;
+};
+
+// Builds a fixed-bucket snapshot of `recorder` over [lo, hi) with `buckets`
+// uniform buckets (out-of-range samples clamp to the end buckets).
+HistogramSnapshot SnapshotHistogram(const LatencyRecorder& recorder, double lo,
+                                    double hi, size_t buckets);
 
 }  // namespace perfiso
 

@@ -73,11 +73,19 @@ void OpenLoopClient::ScheduleArrival(SimTime at) {
     return;
   }
   sim_->Schedule(at, [this, at] {
+    if (tracer_ != nullptr) {
+      tracer_->Instant("client.arrival", track_, at);
+    }
     submit_(trace_[cursor_], at);
     ++submitted_;
     cursor_ = (cursor_ + 1) % trace_.size();
     ScheduleArrival(DrawNextArrival(at));
   });
+}
+
+void OpenLoopClient::SetTracer(Tracer* tracer, int32_t track) {
+  tracer_ = tracer;
+  track_ = track;
 }
 
 ClosedLoopClient::ClosedLoopClient(Simulator* sim, std::vector<QueryWork> trace,
@@ -112,8 +120,16 @@ void ClosedLoopClient::SubmitAfterThink() {
     ++submitted_;
     const QueryWork& work = trace_[cursor_];
     cursor_ = (cursor_ + 1) % trace_.size();
+    if (tracer_ != nullptr) {
+      tracer_->Instant("client.arrival", track_, at);
+    }
     submit_(work, at);
   });
+}
+
+void ClosedLoopClient::SetTracer(Tracer* tracer, int32_t track) {
+  tracer_ = tracer;
+  track_ = track;
 }
 
 void ClosedLoopClient::OnComplete() {

@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 #include "src/util/sim_time.h"
@@ -34,6 +35,9 @@ struct QueryWork {
   int fanout = 1;           // parallel chunk lookups
   double size_factor = 1;   // multiplies all CPU costs of this query
   uint64_t seed = 0;        // per-query stream for chunk-level draws
+  // Trace context minted by the submitting layer (the TLA in cluster runs);
+  // 0 lets the index server mint its own.
+  uint64_t trace_ctx = 0;
 };
 
 // Distribution parameters for synthetic traces.
@@ -72,6 +76,9 @@ class OpenLoopClient {
   // are relative to `start`.
   void Run(SimTime start, SimDuration duration);
 
+  // Marks each submission as a "client.arrival" instant on `track`.
+  void SetTracer(Tracer* tracer, int32_t track);
+
   uint64_t submitted() const { return submitted_; }
 
  private:
@@ -85,6 +92,8 @@ class OpenLoopClient {
   double peak_rate_ = 0;
   Rng rng_;
   SubmitFn submit_;
+  Tracer* tracer_ = nullptr;
+  int32_t track_ = Tracer::kNoTrack;
   SimTime start_time_ = 0;
   SimTime end_time_ = 0;
   uint64_t submitted_ = 0;
@@ -112,6 +121,9 @@ class ClosedLoopClient {
   // user after its think time unless the run window has ended.
   void OnComplete();
 
+  // Marks each submission as a "client.arrival" instant on `track`.
+  void SetTracer(Tracer* tracer, int32_t track);
+
   uint64_t submitted() const { return submitted_; }
   int in_flight() const { return in_flight_; }
 
@@ -124,6 +136,8 @@ class ClosedLoopClient {
   SimDuration think_time_;
   Rng rng_;
   SubmitFn submit_;
+  Tracer* tracer_ = nullptr;
+  int32_t track_ = Tracer::kNoTrack;
   SimTime end_time_ = 0;
   uint64_t submitted_ = 0;
   int in_flight_ = 0;

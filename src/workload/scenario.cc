@@ -30,6 +30,7 @@ namespace {
 
 constexpr char kWorkloadPrefix[] = "workload.";
 constexpr char kPerfIsoPrefix[] = "perfiso.";
+constexpr char kObsPrefix[] = "obs.";
 
 std::string EncodePiecewise(const std::vector<PiecewisePoint>& points) {
   std::string out;
@@ -149,19 +150,21 @@ ConfigMap ScenarioSpec::ToConfigMap() const {
       map.SetString(kPerfIsoPrefix + key, value);
     }
   }
+  obs.AppendToConfigMap(&map);
   return map;
 }
 
 StatusOr<ScenarioSpec> ScenarioSpec::FromConfigMap(const ConfigMap& map) {
   ScenarioSpec spec;
 
-  // Split namespaces up front; anything outside workload./perfiso. is foreign.
+  // Split namespaces up front; anything outside workload./perfiso./obs. is
+  // foreign.
   ConfigMap perfiso_map;
   for (const auto& [key, value] : map.entries()) {
     if (key.rfind(kPerfIsoPrefix, 0) == 0) {
       perfiso_map.SetString(key.substr(sizeof(kPerfIsoPrefix) - 1), value);
-    } else if (key.rfind(kWorkloadPrefix, 0) != 0) {
-      return InvalidArgumentError("scenario key outside workload./perfiso.: " + key);
+    } else if (key.rfind(kWorkloadPrefix, 0) != 0 && key.rfind(kObsPrefix, 0) != 0) {
+      return InvalidArgumentError("scenario key outside workload./perfiso./obs.: " + key);
     }
   }
 
@@ -298,6 +301,10 @@ StatusOr<ScenarioSpec> ScenarioSpec::FromConfigMap(const ConfigMap& map) {
   } else if (!perfiso_map.entries().empty()) {
     return InvalidArgumentError("perfiso.* keys present but workload.isolation = none");
   }
+
+  auto obs = ObsSpec::FromConfigMap(map);
+  PERFISO_RETURN_IF_ERROR(obs.status());
+  spec.obs = *obs;
 
   PERFISO_RETURN_IF_ERROR(spec.Validate());
 

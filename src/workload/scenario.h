@@ -10,8 +10,9 @@
 //
 // Key namespace: all scenario keys live under `workload.`; the embedded
 // PerfIso configuration (when `workload.isolation = perfiso`) is flattened
-// under `perfiso.`. Unknown keys in either namespace are rejected at parse
-// time so a typo'd knob fails loudly instead of silently running defaults.
+// under `perfiso.`, and observability knobs under `obs.` (src/obs/obs.h).
+// Unknown keys in any namespace are rejected at parse time so a typo'd knob
+// fails loudly instead of silently running defaults.
 #ifndef PERFISO_SRC_WORKLOAD_SCENARIO_H_
 #define PERFISO_SRC_WORKLOAD_SCENARIO_H_
 
@@ -19,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "src/obs/obs.h"
 #include "src/perfiso/perfiso_config.h"
 #include "src/util/config.h"
 #include "src/util/sim_time.h"
@@ -71,6 +73,11 @@ struct ScenarioSpec {
 
   // nullopt = no isolation (the paper's "No isolation" rows).
   std::optional<PerfIsoConfig> perfiso;
+
+  // Observability knobs (obs.* namespace). Disabled by default: nothing is
+  // serialized and the run constructs no ObsContext, so legacy configs and
+  // golden digests are untouched.
+  ObsSpec obs;
 
   SimDuration warmup = kSecond;
   SimDuration measure = 8 * kSecond;  // benches scale this by BenchScale()

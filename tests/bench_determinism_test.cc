@@ -228,6 +228,33 @@ TEST(GoldenDigestTest, PinnedScenarioDigests) {
   }
 }
 
+// The observability subsystem is contractually passive: with tracing and
+// metrics enabled at FULL sampling (every query retained, sampler ticking),
+// the pinned goldens must still match bit-for-bit. The tracer never draws
+// from simulation RNG streams and the sampler only reads metric state, so
+// turning obs on cannot move a single sample.
+TEST(GoldenDigestTest, FullSamplingObservabilityLeavesDigestsUnchanged) {
+  const ScopedEnv scale_guard("PERFISO_BENCH_SCALE", "1");
+  for (const Golden& golden : kGoldens) {
+    auto spec = bench::FindScenario(golden.scenario);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    spec->measure = 3 * kSecond;
+    spec->obs.enabled = true;
+    spec->obs.sampling = TraceSampling::kAll;
+    bench::ObsArtifacts obs;
+    const SingleBoxResult result = RunSingleBox(*spec, {}, &obs);
+    EXPECT_EQ(result.latency_digest, golden.digest)
+        << golden.scenario << ": enabling observability changed simulation "
+        << "results — the tracer/sampler must stay passive (DESIGN.md §7)";
+    EXPECT_EQ(result.queries, golden.queries) << golden.scenario;
+    // And the run actually produced artifacts (obs was not silently off).
+    EXPECT_TRUE(obs.enabled);
+    EXPECT_NE(obs.trace_json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_FALSE(obs.attribution.empty());
+    EXPECT_NE(obs.metrics_json.find("\"series\""), std::string::npos);
+  }
+}
+
 TEST(BenchDeterminismTest, Fig09StyleClusterDigestsAreIdentical) {
   const ClusterDigest first = RunFig09Style();
   const ClusterDigest second = RunFig09Style();

@@ -1,0 +1,85 @@
+// Sim-time log stamping: a simulator registers a thread-local clock at
+// construction, every message logged while it is alive carries the current
+// simulated time, and teardown (including nested simulators) restores the
+// previous clock.
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/sim_time.h"
+
+namespace perfiso {
+namespace {
+
+class CaptureSink {
+ public:
+  CaptureSink() {
+    SetLogSink([this](LogLevel, const std::string& message) { lines_.push_back(message); });
+  }
+  ~CaptureSink() { SetLogSink(nullptr); }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+TEST(SimTimeLogging, MessagesCarryCurrentSimTimeWhileSimulatorIsAlive) {
+  CaptureSink sink;
+  {
+    Simulator sim;
+    PERFISO_LOG(kInfo) << "at zero";
+    sim.Schedule(FromMillis(1250), [] { PERFISO_LOG(kInfo) << "mid-run"; });
+    sim.RunUntil(FromMillis(2000));
+    PERFISO_LOG(kInfo) << "after run";
+  }
+  PERFISO_LOG(kInfo) << "no simulator";
+
+  ASSERT_EQ(sink.lines().size(), 4u);
+  EXPECT_TRUE(StartsWith(sink.lines()[0], "[t=0.000000s] ")) << sink.lines()[0];
+  EXPECT_TRUE(StartsWith(sink.lines()[1], "[t=1.250000s] ")) << sink.lines()[1];
+  EXPECT_TRUE(StartsWith(sink.lines()[2], "[t=2.000000s] ")) << sink.lines()[2];
+  // Once the simulator is gone the wall-clock-free prefix disappears.
+  EXPECT_FALSE(StartsWith(sink.lines()[3], "[t=")) << sink.lines()[3];
+}
+
+TEST(SimTimeLogging, NestedSimulatorsUnwindToTheOuterClock) {
+  CaptureSink sink;
+  Simulator outer;
+  outer.Schedule(FromMillis(500), [] {});
+  outer.RunUntil(FromMillis(500));
+  {
+    Simulator inner;
+    PERFISO_LOG(kInfo) << "inner clock";
+  }
+  PERFISO_LOG(kInfo) << "outer restored";
+
+  ASSERT_EQ(sink.lines().size(), 2u);
+  EXPECT_TRUE(StartsWith(sink.lines()[0], "[t=0.000000s] ")) << sink.lines()[0];
+  EXPECT_TRUE(StartsWith(sink.lines()[1], "[t=0.500000s] ")) << sink.lines()[1];
+}
+
+TEST(SimTimeLogging, ManualRegistrationRestoresPrevious) {
+  CaptureSink sink;
+  static constexpr uint64_t kNow = 3'000'000;  // 3 ms
+  const SimClockRegistration previous =
+      SetThreadSimClock([](const void*) -> uint64_t { return kNow; }, nullptr);
+  PERFISO_LOG(kInfo) << "manual";
+  ClearThreadSimClock(previous);
+  PERFISO_LOG(kInfo) << "cleared";
+
+  ASSERT_EQ(sink.lines().size(), 2u);
+  EXPECT_TRUE(StartsWith(sink.lines()[0], "[t=0.003000s] ")) << sink.lines()[0];
+  EXPECT_FALSE(StartsWith(sink.lines()[1], "[t=")) << sink.lines()[1];
+}
+
+}  // namespace
+}  // namespace perfiso

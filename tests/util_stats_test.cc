@@ -46,6 +46,83 @@ TEST(LatencyRecorderTest, InterleavedAddAndQuery) {
   EXPECT_EQ(rec.Count(), 0u);
 }
 
+TEST(LatencyRecorderTest, MergeAppendsInOrderAndPreservesDigestSemantics) {
+  LatencyRecorder a;
+  a.Add(1);
+  a.Add(2);
+  LatencyRecorder b;
+  b.Add(3);
+  b.Add(4);
+
+  LatencyRecorder combined;  // one recorder that saw A's samples then B's
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    combined.Add(x);
+  }
+
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 4u);
+  EXPECT_EQ(a.samples(), combined.samples());
+  EXPECT_EQ(a.Digest(), combined.Digest());
+  EXPECT_NEAR(a.Mean(), 2.5, 1e-12);
+  EXPECT_EQ(a.Max(), 4);
+  // The source is untouched.
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(LatencyRecorderTest, MergeEmptyIsIdentity) {
+  LatencyRecorder a;
+  a.Add(7);
+  const uint64_t digest = a.Digest();
+  LatencyRecorder empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.Digest(), digest);
+  empty.Merge(a);
+  EXPECT_EQ(empty.Digest(), digest);
+}
+
+TEST(LatencyRecorderTest, MergeInvalidatesPercentileCache) {
+  LatencyRecorder a;
+  a.Add(10);
+  EXPECT_EQ(a.P99(), 10);  // forces the sorted cache
+  LatencyRecorder b;
+  b.Add(20);
+  a.Merge(b);
+  EXPECT_EQ(a.P99(), 20);
+}
+
+TEST(SnapshotHistogramTest, CountsAndSummaryMatchRecorder) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.Add(i);
+  }
+  const HistogramSnapshot snap = SnapshotHistogram(rec, 0, 100, 10);
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 100);
+  EXPECT_NEAR(snap.mean, 50.5, 1e-9);
+  EXPECT_EQ(snap.p50, rec.P50());
+  EXPECT_EQ(snap.p99, rec.P99());
+  ASSERT_EQ(snap.bucket_counts.size(), 10u);
+  uint64_t total = 0;
+  for (uint64_t c : snap.bucket_counts) {
+    total += c;
+  }
+  EXPECT_EQ(total, 100u);
+  // Samples 1..9 land in [0,10); sample 100 clamps into the last bucket.
+  EXPECT_EQ(snap.bucket_counts[0], 9u);
+  EXPECT_EQ(snap.bucket_counts[9], 11u);
+}
+
+TEST(SnapshotHistogramTest, EmptyRecorder) {
+  LatencyRecorder rec;
+  const HistogramSnapshot snap = SnapshotHistogram(rec, 0, 10, 4);
+  EXPECT_EQ(snap.count, 0u);
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  for (uint64_t c : snap.bucket_counts) {
+    EXPECT_EQ(c, 0u);
+  }
+}
+
 TEST(MovingAverageTest, WindowEviction) {
   MovingAverage ma(3);
   ma.Add(3);

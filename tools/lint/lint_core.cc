@@ -20,7 +20,10 @@ namespace {
 // `>>` closing two template levels never confuses the template-argument scan.
 // ---------------------------------------------------------------------------
 struct Token {
-  enum class Kind { kIdent, kPunct };
+  // kString carries the literal's inner text (quotes stripped, escapes kept
+  // verbatim) so OBS-001 can validate metric/span names; the determinism and
+  // lifetime rules ignore string tokens entirely.
+  enum class Kind { kIdent, kPunct, kString };
   Kind kind;
   std::string text;
   int line;
@@ -191,9 +194,11 @@ Lexed Lex(const std::string& s) {
       i = e;
       continue;
     }
-    // String / char literals.
+    // String / char literals. Double-quoted literals become kString tokens
+    // (OBS-001 validates them); char literals are consumed silently.
     if (c == '"' || c == '\'') {
       const char quote = c;
+      const int start_line = line;
       size_t e = i + 1;
       while (e < n) {
         if (s[e] == '\\' && e + 1 < n) {
@@ -208,6 +213,11 @@ Lexed Lex(const std::string& s) {
           ++line;  // ill-formed C++, but keep line numbers sane
         }
         ++e;
+      }
+      if (quote == '"') {
+        const size_t body = i + 1;
+        const size_t body_end = (e > i + 1 && s[e - 1] == '"') ? e - 1 : e;
+        emit(Token::Kind::kString, s.substr(body, body_end - body), start_line);
       }
       i = e;
       continue;
@@ -261,6 +271,65 @@ const std::set<std::string> kUnorderedIdents = {
 const std::set<std::string> kOrderedByKey = {
     "map", "set", "multimap", "multiset", "priority_queue",
 };
+
+// OBS-001: the observability sinks whose name argument must be a single
+// lowercase dot-separated string literal, and which argument carries the
+// name (Tracer::Span takes the context first). Registration calls
+// (RegisterProcess/RegisterTrack) are deliberately absent: topology names
+// are per-machine and may be built at rig-construction time.
+const std::map<std::string, int> kObsSinkNameArg = {
+    {"AddCounter", 0}, {"AddGauge", 0}, {"AddProbe", 0}, {"AddHistogram", 0},
+    {"Instant", 0},    {"BeginTrace", 0}, {"Span", 1},
+};
+
+// Lowercase dot-separated: [a-z0-9_]+(\.[a-z0-9_]+)*
+bool IsObsMetricName(const std::string& s) {
+  bool segment_empty = true;
+  for (const char c : s) {
+    if (c == '.') {
+      if (segment_empty) {
+        return false;
+      }
+      segment_empty = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      segment_empty = false;
+    } else {
+      return false;
+    }
+  }
+  return !segment_empty;
+}
+
+// Splits the call starting at toks[open] == "(" into top-level argument
+// spans and returns the tokens of argument `arg_index` (empty when the call
+// has fewer arguments or the parens never close).
+std::vector<const Token*> CallArgument(const std::vector<Token>& toks, size_t open,
+                                       int arg_index) {
+  std::vector<const Token*> arg;
+  int depth = 1;
+  int current = 0;
+  for (size_t j = open + 1; j < toks.size() && depth > 0; ++j) {
+    const std::string& p = toks[j].text;
+    if (p == "(" || p == "[" || p == "{") {
+      ++depth;
+    } else if (p == ")" || p == "]" || p == "}") {
+      --depth;
+      if (depth == 0) {
+        return current == arg_index ? arg : std::vector<const Token*>{};
+      }
+    } else if (p == "," && depth == 1) {
+      if (current == arg_index) {
+        return arg;
+      }
+      ++current;
+      continue;
+    }
+    if (current == arg_index) {
+      arg.push_back(&toks[j]);
+    }
+  }
+  return {};
+}
 
 // True when tokens[idx] reads as a free-function call: `name(` not reached
 // through `.`/`->` (member access) and not preceded by a non-keyword
@@ -471,6 +540,24 @@ std::vector<Finding> LintSource(const std::string& path, const std::string& cont
                 "suppress with rationale)");
       }
     }
+    // OBS-001: names passed to the observability sinks must be single
+    // lowercase dot-separated string literals. Sinks are always reached as
+    // member calls (registry.Add*, tracer->Instant/Span/BeginTrace), which
+    // keeps their declarations and definitions out of scope.
+    if (const auto sink = kObsSinkNameArg.find(t.text);
+        sink != kObsSinkNameArg.end() && i >= 1 &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->") && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      const std::vector<const Token*> arg = CallArgument(toks, i + 1, sink->second);
+      const bool single_literal = arg.size() == 1 && arg[0]->kind == Token::Kind::kString;
+      if (!single_literal || !IsObsMetricName(arg[0]->text)) {
+        add(t.line, "perfiso-OBS-001",
+            "name argument of '" + t.text +
+                "' must be a single lowercase dot-separated string literal "
+                "(\"layer.event\") — hot paths never build metric/span names, "
+                "and the export vocabulary stays greppable");
+      }
+    }
   }
 
   // LIFE-001 pass: class scopes, members, destructors / Cancel members.
@@ -493,6 +580,9 @@ std::vector<Finding> LintSource(const std::string& path, const std::string& cont
       }
     };
     for (const Token& t : toks) {
+      if (t.kind == Token::Kind::kString) {
+        continue;  // "EventHandle" in a log message is not a member
+      }
       if (t.text == ";") {
         if (ClassScope* scope = current_class()) {
           InspectStatement(stmt, scope);

@@ -24,6 +24,13 @@
 //   LIFE-001 EventHandle members in a class with no destructor and no
 //            Cancel* member: armed events can outlive their owner (heuristic,
 //            suppress when another object owns the lifecycle).
+//   OBS-001  the name argument of the observability sinks (MetricsRegistry::
+//            AddCounter/AddGauge/AddProbe/AddHistogram, Tracer::Instant/
+//            BeginTrace/Span) must be a single lowercase dot-separated string
+//            literal — hot paths never build metric/span name strings, and
+//            the Perfetto export vocabulary stays greppable. Topology
+//            registration (RegisterProcess/RegisterTrack) is exempt: machine
+//            and track names are constructed per rig.
 #ifndef PERFISO_TOOLS_LINT_LINT_CORE_H_
 #define PERFISO_TOOLS_LINT_LINT_CORE_H_
 

@@ -84,6 +84,45 @@ TEST(LintFixtures, Life001FlagsHandleMembersWithoutTeardown) {
   EXPECT_EQ(got, want);  // dtor / CancelAll / NOLINT classes stay clean
 }
 
+TEST(LintFixtures, Obs001FlagsNonLiteralMetricNames) {
+  const RL got = RuleLines(LintFixture("src/bad_obs_name.cc"));
+  const RL want = {
+      {"perfiso-OBS-001", 20},  // AddCounter(dynamic_name)
+      {"perfiso-OBS-001", 21},  // AddGauge("Mixed.Case")
+      {"perfiso-OBS-001", 22},  // AddHistogram("disk..queue", ...)
+      {"perfiso-OBS-001", 23},  // Instant(ternary ? ... : ...)
+      {"perfiso-OBS-001", 24},  // Span(ctx, dynamic_name, ...): name is arg 1
+  };
+  EXPECT_EQ(got, want);  // Clean() block: literals, RegisterProcess, NOLINT
+}
+
+TEST(LintSource, Obs001AcceptsNestedCallInContextArgument) {
+  // The name of Span is argument 1; a nested BeginTrace call (with its own
+  // comma) in argument 0 must not shift the argument split.
+  const auto findings = LintSource(
+      "src/x.cc", "void F(T* t) { t->Span(t->BeginTrace(\"isq\", 0), \"cpu.run\", c, 0, a, b); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, Obs001IgnoresDeclarationsAndFreeFunctions) {
+  // Member declarations / definitions (no preceding . or ->) and unrelated
+  // free functions named like sinks stay quiet.
+  const auto findings = LintSource(
+      "src/x.cc",
+      "struct T { void Instant(const char* n, int t, long a); };\n"
+      "void Tracer::Instant(const char* name, int track, long at) {}\n"
+      "long Instant(long x) { return x; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, Obs001StringMemberDoesNotTripLife001) {
+  // A string literal mentioning EventHandle inside a class must not register
+  // as a handle member now that the lexer emits string tokens.
+  const auto findings = LintSource(
+      "src/x.cc", "class Owner {\n  const char* doc_ = \"EventHandle lives here\";\n};\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintFixtures, DecoyCorpusIsEntirelyClean) {
   const std::vector<Finding> got = LintFixture("src/clean_decoys.cc");
   EXPECT_TRUE(got.empty()) << (got.empty() ? "" : got.front().message);

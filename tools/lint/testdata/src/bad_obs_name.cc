@@ -1,0 +1,41 @@
+// OBS-001 fixture: metric/span names at observability sinks.
+namespace fixture {
+
+struct FakeRegistry {
+  void* AddCounter(const char*) { return nullptr; }
+  void* AddGauge(const char*) { return nullptr; }
+  void* AddProbe(const char*) { return nullptr; }
+  void* AddHistogram(const char*, double, double, int) { return nullptr; }
+};
+
+struct FakeTracer {
+  int RegisterProcess(const char*) { return 0; }
+  void Instant(const char*, int, long) {}
+  unsigned long BeginTrace(const char*, long) { return 1; }
+  void Span(unsigned long, const char*, int, int, long, long) {}
+};
+
+inline void Bad(FakeRegistry& registry, FakeTracer* tracer, bool hedged,
+                const char* dynamic_name) {
+  registry.AddCounter(dynamic_name);                              // line 20: not a literal
+  registry.AddGauge("Mixed.Case");                                // line 21: uppercase
+  registry.AddHistogram("disk..queue", 0, 1, 8);                  // line 22: empty segment
+  tracer->Instant(hedged ? "is.hedge" : "is.retry", 0, 7);        // line 23: ternary
+  tracer->Span(1, dynamic_name, 0, 0, 0, 7);                      // line 24: name is arg 1
+}
+
+inline void Clean(FakeRegistry& registry, FakeTracer* tracer, const char* machine) {
+  registry.AddCounter("disk.reads.completed");
+  registry.AddHistogram("indexserve.latency_ms", 0, 200, 40);
+  tracer->Instant("perfiso.activate", 0, 7);
+  tracer->Span(tracer->BeginTrace("isq", 0), "cpu.run", 4, 0, 0, 7);
+  // Topology registration may build names — not a sink.
+  tracer->RegisterProcess(machine);
+  // NOLINTNEXTLINE(perfiso-OBS-001) fixture: suppressed dynamic name
+  registry.AddGauge(machine);
+  // Decoys: sink names in comments (AddCounter("X")) and strings stay quiet.
+  const char* decoy = "tracer->Instant(name)";
+  (void)decoy;
+}
+
+}  // namespace fixture
