@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
+#include "src/fault/invariant_checker.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace_export.h"
 #include "src/sim/simulator.h"
@@ -102,6 +104,11 @@ void RecordRow(const std::string& label, const SingleBoxResult& r) {
                        {"secondary_progress_core_s", r.secondary_progress},
                        {"hedges", static_cast<double>(r.hedges)},
                        {"queries", static_cast<double>(r.queries)},
+                       {"coverage_mean", r.coverage_mean},
+                       {"degraded", static_cast<double>(r.degraded)},
+                       {"retries", static_cast<double>(r.retries)},
+                       {"dropped_crash", static_cast<double>(r.dropped_crash)},
+                       {"faults_injected", static_cast<double>(r.faults_injected)},
                    });
 }
 
@@ -187,6 +194,14 @@ ScenarioSpec ScaleScenarioForBench(const ScenarioSpec& scenario) {
         point.at_sec = remap(point.at_sec);
       }
       break;
+  }
+  // Fault events are one-shot features like the flash window: remap both
+  // endpoints so a window keeps its position *and* its overlap with the
+  // measurement window at any scale.
+  for (FaultEvent& event : scaled.fault.events) {
+    const double end_sec = remap(event.at_sec + event.duration_sec);
+    event.at_sec = remap(event.at_sec);
+    event.duration_sec = std::max(end_sec - event.at_sec, 1e-3);
   }
   return scaled;
 }
@@ -309,6 +324,19 @@ SingleBoxResult RunSingleBox(const ScenarioSpec& input, const IndexNodeOptions& 
     obs_ctx->StartSampling(&sim, scenario.warmup);
   }
 
+  // Fault injection: disabled plans construct nothing, so a fault-free run is
+  // bit-identical to one built before the subsystem existed. The injector is
+  // declared after the rig and owns its event handles, so teardown order is
+  // safe even when the plan outlives the measurement window.
+  std::unique_ptr<FaultInjector> injector;
+  if (scenario.fault.enabled) {
+    injector = std::make_unique<FaultInjector>(&sim, scenario.fault, &rig);
+    if (obs_ctx != nullptr) {
+      injector->EnableTracing(&obs_ctx->tracer);
+    }
+    injector->Arm();
+  }
+
   Rng trace_rng(scenario.trace_seed);
   auto trace = GenerateTrace(TraceSpec{}, scenario.trace_count, &trace_rng);
 
@@ -372,7 +400,23 @@ SingleBoxResult RunSingleBox(const ScenarioSpec& input, const IndexNodeOptions& 
   result.secondary_progress = rig.SecondaryProgress() - progress_then;
   result.hedges = stats.hedges_issued;
   result.queries = stats.submitted;
+  result.coverage_mean = stats.coverage.Count() > 0 ? stats.coverage.Mean() : 0.0;
+  result.degraded = stats.completed_degraded;
+  result.retries = stats.retries_issued;
+  result.dropped_crash = stats.dropped_crash;
+  result.faults_injected = injector != nullptr ? injector->stats().injected : 0;
   result.latency_digest = stats.latency_ms.Digest();
+
+  // Conservation/budget/coverage invariants must hold at the end of every
+  // bench run, faults or not; the checker only reads, so this is
+  // digest-neutral. Aborting keeps bad rows out of BENCH_*.json.
+  InvariantReport invariants;
+  InvariantChecker::CheckRig(rig, /*expect_drained=*/false, &invariants);
+  if (!invariants.ok()) {
+    std::fprintf(stderr, "invariant violations in scenario %s:\n%s", input.name.c_str(),
+                 invariants.ToString().c_str());
+    std::abort();
+  }
 
   if (obs_ctx != nullptr) {
     obs_ctx->sampler->SampleNow(sim.Now());
@@ -495,6 +539,40 @@ std::vector<ScenarioSpec> BuildRegistry() {
     spec.closed.think_time = FromMillis(1);
     spec.tenants.cpu_bully_threads = 48;
     spec.perfiso = BlindConfig();
+    registry.push_back(spec);
+  }
+
+  // Fault-injection rows (DESIGN.md §8): the standard colocation with a
+  // declared fault window mid-measurement. "fault-crash-restart" kills the
+  // serving process for two seconds (in-flight queries drop, storage I/O
+  // cancels, the node rejoins cold); the disk and straggler rows degrade
+  // rather than kill, which blind isolation's buffer should largely absorb.
+  {
+    ScenarioSpec spec = BaseScenario("fault-crash-restart", ConstantLoad(2000));
+    spec.fault.enabled = true;
+    spec.fault.events.push_back(
+        FaultEvent{FaultKind::kNodeCrash, /*node=*/0, /*at_sec=*/3.0, /*duration_sec=*/2.0,
+                   /*severity=*/1.0});
+    registry.push_back(spec);
+  }
+  {
+    ScenarioSpec spec = BaseScenario("fault-disk-degrade-blind", ConstantLoad(2000));
+    spec.tenants.cpu_bully_threads = 48;
+    spec.perfiso = BlindConfig();
+    spec.fault.enabled = true;
+    spec.fault.events.push_back(
+        FaultEvent{FaultKind::kDiskDegrade, /*node=*/0, /*at_sec=*/3.0, /*duration_sec=*/2.0,
+                   /*severity=*/40.0});
+    registry.push_back(spec);
+  }
+  {
+    ScenarioSpec spec = BaseScenario("fault-straggler-blind", ConstantLoad(2000));
+    spec.tenants.cpu_bully_threads = 48;
+    spec.perfiso = BlindConfig();
+    spec.fault.enabled = true;
+    spec.fault.events.push_back(
+        FaultEvent{FaultKind::kCpuStraggler, /*node=*/0, /*at_sec=*/3.0, /*duration_sec=*/2.0,
+                   /*severity=*/16});
     registry.push_back(spec);
   }
 

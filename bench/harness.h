@@ -44,7 +44,9 @@ SimDuration ScaledMeasure(const ScenarioSpec& scenario);
 // window*, while the periods of repeating shapes (diurnal, square wave)
 // shrink by the same factor. Identity at scale 1. RunSingleBox applies this
 // itself, so a registry scenario measures its whole shape — spike, bursts,
-// full diurnal period — at any PERFISO_BENCH_SCALE.
+// full diurnal period — at any PERFISO_BENCH_SCALE. Fault-plan events remap
+// the same way: inject times like flash windows, durations by the factor, so
+// a scaled run still sees its crash/degradation windows inside the window.
 ScenarioSpec ScaleScenarioForBench(const ScenarioSpec& scenario);
 
 // Builds the rig a single-box spec describes — node seeded from the spec,
@@ -71,6 +73,17 @@ struct SingleBoxResult {
   double secondary_progress = 0;
   int64_t hedges = 0;
   int64_t queries = 0;
+  // Robustness metrics (src/fault): mean per-query chunk coverage over
+  // completed queries (1.0 when nothing degraded, 0 when nothing completed),
+  // degraded completions, chunk retries issued, and crash drops. All zero /
+  // 1.0 in a healthy run; the invariant checker (run after every measurement
+  // window) aborts the bench on any violation, so a result you can read is a
+  // result whose conservation and budget invariants held.
+  double coverage_mean = 0;
+  int64_t degraded = 0;
+  int64_t retries = 0;
+  int64_t dropped_crash = 0;
+  int64_t faults_injected = 0;
   // Order-sensitive digest of the latency recorder after the measurement
   // window — the golden-regression anchor (tests/bench_determinism_test.cc).
   uint64_t latency_digest = 0;

@@ -12,6 +12,9 @@ struct Cluster::PendingQuery {
   int mla_node = 0;
   int row = 0;
   int leaves_left = 0;
+  // Leaves that contributed no answer: crashed at fan-out time, refused the
+  // request (crash between send and delivery), or dropped it server-side.
+  int leaves_failed = 0;
   int tla_machine = 0;
 };
 
@@ -44,6 +47,7 @@ Cluster::Cluster(Simulator* sim, const ClusterOptions& options)
     fabric_->AttachMachine(tla_machines_.back()->name());
   }
   next_mla_in_row_.assign(static_cast<size_t>(topo.rows), 0);
+  crashed_.assign(index_nodes_.size(), false);
 }
 
 void Cluster::SubmitQuery(const QueryWork& work, IndexServer::QueryDoneFn done) {
@@ -66,12 +70,29 @@ void Cluster::SubmitQuery(const QueryWork& work, IndexServer::QueryDoneFn done) 
   SimMachine* tla = tla_machines_[static_cast<size_t>(pending->tla_machine)].get();
   tla->SpawnThread(
       "tla-fwd", TenantClass::kPrimary, JobId{}, FromMicros(options_.tla_cpu_us),
-      [this, pending](SimTime) {
-        // Pick the MLA within the row (TLA load balancing).
+      [this, pending](SimTime now) {
+        // Pick the MLA within the row (TLA load balancing), skipping nodes
+        // the health checks know to be crashed. With nothing crashed the
+        // first probe hits the cursor, exactly the pre-fault round-robin.
         const int cols = options_.topology.columns;
         auto& cursor = next_mla_in_row_[static_cast<size_t>(pending->row)];
-        pending->mla_node = pending->row * cols + static_cast<int>(cursor);
-        cursor = (cursor + 1) % static_cast<size_t>(cols);
+        int chosen = -1;
+        for (int probe = 0; probe < cols; ++probe) {
+          const int candidate =
+              pending->row * cols +
+              static_cast<int>((cursor + static_cast<size_t>(probe)) % static_cast<size_t>(cols));
+          if (!crashed_[static_cast<size_t>(candidate)]) {
+            chosen = candidate;
+            cursor = (cursor + static_cast<size_t>(probe) + 1) % static_cast<size_t>(cols);
+            break;
+          }
+        }
+        if (chosen < 0) {
+          // The whole row is down: nothing can serve this query.
+          FailAtTla(pending, now);
+          return;
+        }
+        pending->mla_node = chosen;
         fabric_->Send(tla_endpoint(pending->tla_machine),
                       index_endpoint(pending->mla_node),
                       options_.fabric.request_bytes, NetClass::kPrimary,
@@ -92,55 +113,36 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
     IndexNodeRig& leaf = *index_nodes_[static_cast<size_t>(leaf_index)];
     const bool local = leaf_index == pending->mla_node;
 
+    if (crashed_[static_cast<size_t>(leaf_index)]) {
+      // Health checks: no request is sent to a known-dead leaf — no events
+      // are delivered to crashed machines. It counts as failed coverage
+      // immediately.
+      ++pending->leaves_failed;
+      if (--pending->leaves_left == 0) {
+        FinalizeMla(pending);
+      }
+      continue;
+    }
+
     auto run_leaf = [this, pending, &leaf, &mla, leaf_index, local] {
       leaf.server().SubmitQuery(pending->work, [this, pending, &mla, leaf_index,
-                                                local](const QueryResult&) {
+                                                local](const QueryResult& leaf_result) {
+        // A dropped leaf (timeout, admission, or a crash that raced the
+        // request) answered nothing: failed coverage. The (error) response
+        // still travels back and merges, keeping the event sequence of
+        // no-fault runs untouched.
+        if (leaf_result.dropped) {
+          ++pending->leaves_failed;
+        }
         auto merge = [this, pending, &mla](SimTime) {
           // Merge work on the MLA machine for this leaf response.
           mla.machine().SpawnThread(
               "mla-merge", TenantClass::kPrimary, mla.server().job(),
               FromMicros(options_.mla_merge_cpu_us),
-              [this, pending, &mla](SimTime) {
-                if (--pending->leaves_left > 0) {
-                  return;
+              [this, pending](SimTime) {
+                if (--pending->leaves_left == 0) {
+                  FinalizeMla(pending);
                 }
-                // All leaves in: finalize on the MLA, reply to the TLA.
-                mla.machine().SpawnThread(
-                    "mla-final", TenantClass::kPrimary, mla.server().job(),
-                    FromMicros(options_.mla_finalize_cpu_us),
-                    [this, pending](SimTime now) {
-                      mla_latency_ms_.Add(ToMillis(now - pending->mla_arrival));
-                      fabric_->Send(
-                          index_endpoint(pending->mla_node),
-                          tla_endpoint(pending->tla_machine),
-                          options_.fabric.final_response_bytes, NetClass::kPrimary,
-                          [this, pending](SimTime) {
-                            SimMachine* tla =
-                                tla_machines_[static_cast<size_t>(pending->tla_machine)].get();
-                            tla->SpawnThread(
-                                "tla-reply", TenantClass::kPrimary, JobId{},
-                                FromMicros(options_.tla_cpu_us),
-                                [this, pending](SimTime end) {
-                                  ++queries_completed_;
-                                  tla_latency_ms_.Add(ToMillis(end - pending->tla_submit));
-                                  if (tracer_ != nullptr && pending->work.trace_ctx != 0) {
-                                    tracer_->EndTrace(pending->work.trace_ctx, end,
-                                                      /*dropped=*/false);
-                                  }
-                                  if (pending->done) {
-                                    QueryResult result;
-                                    result.id = pending->work.id;
-                                    result.submit_time = pending->tla_submit;
-                                    result.finish_time = end;
-                                    result.latency_ms = ToMillis(end - pending->tla_submit);
-                                    pending->done(result);
-                                  }
-                                },
-                                pending->work.trace_ctx);
-                          },
-                          pending->work.trace_ctx);
-                    },
-                    pending->work.trace_ctx);
               },
               pending->work.trace_ctx);
         };
@@ -162,6 +164,79 @@ void Cluster::RunMla(const std::shared_ptr<PendingQuery>& pending) {
                     options_.fabric.request_bytes, NetClass::kPrimary,
                     [run_leaf](SimTime) { run_leaf(); }, pending->work.trace_ctx);
     }
+  }
+}
+
+void Cluster::FinalizeMla(const std::shared_ptr<PendingQuery>& pending) {
+  // All leaf slots accounted for: finalize on the MLA, reply to the TLA.
+  IndexNodeRig& mla = *index_nodes_[static_cast<size_t>(pending->mla_node)];
+  mla.machine().SpawnThread(
+      "mla-final", TenantClass::kPrimary, mla.server().job(),
+      FromMicros(options_.mla_finalize_cpu_us),
+      [this, pending](SimTime now) {
+        mla_latency_ms_.Add(ToMillis(now - pending->mla_arrival));
+        fabric_->Send(
+            index_endpoint(pending->mla_node), tla_endpoint(pending->tla_machine),
+            options_.fabric.final_response_bytes, NetClass::kPrimary,
+            [this, pending](SimTime) {
+              SimMachine* tla = tla_machines_[static_cast<size_t>(pending->tla_machine)].get();
+              tla->SpawnThread(
+                  "tla-reply", TenantClass::kPrimary, JobId{},
+                  FromMicros(options_.tla_cpu_us),
+                  [this, pending](SimTime end) {
+                    const int cols = options_.topology.columns;
+                    const double coverage =
+                        cols == 0 ? 1.0
+                                  : static_cast<double>(cols - pending->leaves_failed) /
+                                        static_cast<double>(cols);
+                    const bool failed = coverage < options_.min_leaf_coverage;
+                    QueryResult result;
+                    result.id = pending->work.id;
+                    result.submit_time = pending->tla_submit;
+                    result.finish_time = end;
+                    result.latency_ms = ToMillis(end - pending->tla_submit);
+                    result.chunks_total = cols;
+                    result.chunks_served = cols - pending->leaves_failed;
+                    result.degraded = pending->leaves_failed > 0;
+                    result.dropped = failed;
+                    if (failed) {
+                      ++queries_failed_;
+                    } else {
+                      ++queries_completed_;
+                      if (pending->leaves_failed > 0) {
+                        ++queries_degraded_;
+                      }
+                      coverage_fraction_.Add(coverage);
+                      tla_latency_ms_.Add(result.latency_ms);
+                    }
+                    if (tracer_ != nullptr && pending->work.trace_ctx != 0) {
+                      tracer_->EndTrace(pending->work.trace_ctx, end, failed);
+                    }
+                    if (pending->done) {
+                      pending->done(result);
+                    }
+                  },
+                  pending->work.trace_ctx);
+            },
+            pending->work.trace_ctx);
+      },
+      pending->work.trace_ctx);
+}
+
+void Cluster::FailAtTla(const std::shared_ptr<PendingQuery>& pending, SimTime now) {
+  ++queries_failed_;
+  if (tracer_ != nullptr && pending->work.trace_ctx != 0) {
+    tracer_->EndTrace(pending->work.trace_ctx, now, /*dropped=*/true);
+  }
+  if (pending->done) {
+    QueryResult result;
+    result.id = pending->work.id;
+    result.submit_time = pending->tla_submit;
+    result.finish_time = now;
+    result.latency_ms = ToMillis(now - pending->tla_submit);
+    result.dropped = true;
+    result.chunks_total = options_.topology.columns;
+    pending->done(result);
   }
 }
 
@@ -208,10 +283,14 @@ int64_t Cluster::leaf_drops() const {
 }
 
 void Cluster::ResetStats() {
+  inflight_at_reset_ = queries_inflight();
   mla_latency_ms_.Clear();
   tla_latency_ms_.Clear();
+  coverage_fraction_.Clear();
   queries_submitted_ = 0;
   queries_completed_ = 0;
+  queries_failed_ = 0;
+  queries_degraded_ = 0;
   for (auto& node : index_nodes_) {
     node->server().ResetStats();
   }

@@ -44,6 +44,10 @@ struct ClusterOptions {
   double mla_merge_cpu_us = 40;    // per leaf response
   double mla_finalize_cpu_us = 250;
   double tla_cpu_us = 150;
+  // Graceful degradation: a query whose answered-leaf fraction is at least
+  // this completes (degraded when below 1.0); below it the TLA fails the
+  // query. Failed-coverage leaves are crashed leaves plus per-leaf drops.
+  double min_leaf_coverage = 0.5;
   uint64_t seed = 42;
 };
 
@@ -67,6 +71,17 @@ class Cluster {
   int NumIndexNodes() const { return static_cast<int>(index_nodes_.size()); }
   IndexNodeRig& index_node(int i) { return *index_nodes_[static_cast<size_t>(i)]; }
 
+  // --- Fault injection --------------------------------------------------------
+  // Marks a node dead/alive for routing (the health-check view): TLAs skip
+  // crashed MLAs, and MLAs do not fan out to crashed leaves (the leaf counts
+  // as failed coverage immediately). The FaultInjector keeps this in sync
+  // with IndexNodeRig::Crash()/Restart(); the InvariantChecker asserts the
+  // two views agree.
+  void SetNodeCrashed(int node, bool crashed) {
+    crashed_[static_cast<size_t>(node)] = crashed;
+  }
+  bool NodeCrashed(int node) const { return crashed_[static_cast<size_t>(node)]; }
+
   // The network: index nodes attach first (endpoint i == index node i), TLA
   // machines after.
   Fabric& fabric() { return *fabric_; }
@@ -84,6 +99,19 @@ class Cluster {
   const LatencyRecorder& TlaLatency() const { return tla_latency_ms_; }
   int64_t queries_submitted() const { return queries_submitted_; }
   int64_t queries_completed() const { return queries_completed_; }
+  // Queries the TLA failed: leaf coverage below min_leaf_coverage, or the
+  // whole row crashed. Disjoint from queries_completed.
+  int64_t queries_failed() const { return queries_failed_; }
+  // Subset of completed: answered with partial leaf coverage.
+  int64_t queries_degraded() const { return queries_degraded_; }
+  // Conservation residue (InvariantChecker: >= 0 always, == 0 when drained).
+  // Queries in flight at the last ResetStats finish without a matching
+  // `submitted` tick, hence the carry term.
+  int64_t queries_inflight() const {
+    return queries_submitted_ + inflight_at_reset_ - queries_completed_ - queries_failed_;
+  }
+  // Per completed query: fraction of the row's leaves that answered.
+  const LatencyRecorder& LeafCoverage() const { return coverage_fraction_; }
   int64_t leaf_drops() const;
 
   void ResetStats();
@@ -100,6 +128,11 @@ class Cluster {
   struct PendingQuery;
 
   void RunMla(const std::shared_ptr<PendingQuery>& pending);
+  // All leaf slots accounted for: finalize on the MLA and reply to the TLA,
+  // completing (possibly degraded) or failing on leaf coverage.
+  void FinalizeMla(const std::shared_ptr<PendingQuery>& pending);
+  // Terminal failure before any MLA was reachable (whole row crashed).
+  void FailAtTla(const std::shared_ptr<PendingQuery>& pending, SimTime now);
 
   Simulator* sim_;
   ClusterOptions options_;
@@ -113,8 +146,13 @@ class Cluster {
   std::vector<size_t> next_mla_in_row_;
   LatencyRecorder mla_latency_ms_;
   LatencyRecorder tla_latency_ms_;
+  LatencyRecorder coverage_fraction_;
   int64_t queries_submitted_ = 0;
   int64_t queries_completed_ = 0;
+  int64_t queries_failed_ = 0;
+  int64_t queries_degraded_ = 0;
+  int64_t inflight_at_reset_ = 0;
+  std::vector<bool> crashed_;  // routing view, one flag per index node
 };
 
 }  // namespace perfiso

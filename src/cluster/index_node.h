@@ -61,6 +61,27 @@ class IndexNodeRig {
   // controller started afterwards is wired automatically (decision instants).
   void EnableTracing(Tracer* tracer);
 
+  // --- Fault injection --------------------------------------------------------
+  // Crash models the index-serving process and its storage stack dying: every
+  // live query fails (IndexServer::Crash), and all queued + in-flight I/O on
+  // both volumes is dropped without completions (IoScheduler::CancelAll).
+  // Residual CPU bursts of dead queries run to completion but their
+  // continuations are inert (finished-flag guards). Secondary tenants are
+  // separate processes in this model: their CPU loops keep running, though
+  // any I/O chain they had in flight dies with the storage stack. Restart
+  // brings the serving process back with cold state; queries flow again on
+  // the next submission.
+  void Crash() {
+    server_->Crash();
+    ssd_sched_->CancelAll();
+    hdd_sched_->CancelAll();
+  }
+  void Restart() { server_->Restart(); }
+  bool crashed() const { return server_->crashed(); }
+
+  StripedVolume& ssd_volume() { return *ssd_volume_; }
+  StripedVolume& hdd_volume() { return *hdd_volume_; }
+
   // Accessors.
   Simulator* sim() const { return sim_; }
   SimMachine& machine() { return *machine_; }

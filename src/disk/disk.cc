@@ -40,6 +40,11 @@ SimDuration DiskDevice::ServiceTime(const IoRequest& request) const {
   }
   service += static_cast<SimDuration>(static_cast<double>(request.bytes) /
                                       spec_.bandwidth_bps * kSecond);
+  if (latency_multiplier_ != 1.0) {
+    // Only degraded devices take this branch: the healthy path never runs the
+    // scaling arithmetic, keeping no-fault digests bit-identical.
+    service = static_cast<SimDuration>(static_cast<double>(service) * latency_multiplier_);
+  }
   return service;
 }
 
@@ -162,6 +167,12 @@ int StripedVolume::CancelAll() {
     dropped += drive->CancelAll();
   }
   return dropped;
+}
+
+void StripedVolume::SetLatencyMultiplier(double multiplier) {
+  for (const auto& drive : drives_) {
+    drive->SetLatencyMultiplier(multiplier);
+  }
 }
 
 size_t StripedVolume::TotalQueueDepth() const {

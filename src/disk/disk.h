@@ -87,6 +87,14 @@ class DiskDevice {
   // Service time for a request on an otherwise-idle device.
   SimDuration ServiceTime(const IoRequest& request) const;
 
+  // Fault injection: scales the service time of requests *started* while the
+  // multiplier is in effect (in-flight requests keep their original service
+  // time). 1.0 — the default — is special-cased to skip the scaling
+  // arithmetic entirely, so a never-degraded device is bit-identical to one
+  // without the feature.
+  void SetLatencyMultiplier(double multiplier) { latency_multiplier_ = multiplier; }
+  double latency_multiplier() const { return latency_multiplier_; }
+
   // Registers this drive as a track of `process` (its volume); traced
   // requests then report queue/service spans there.
   void EnableTracing(Tracer* tracer, int process);
@@ -122,6 +130,7 @@ class DiskDevice {
   int64_t completed_bytes_ = 0;
   SimDuration busy_ns_ = 0;
   bool last_was_sequential_ = false;
+  double latency_multiplier_ = 1.0;
 };
 
 // N identical devices in a stripe; requests are distributed round-robin
@@ -134,6 +143,9 @@ class StripedVolume {
 
   // Resets every drive (see DiskDevice::CancelAll); returns dropped requests.
   int CancelAll();
+
+  // Applies a fault-injection latency multiplier to every drive.
+  void SetLatencyMultiplier(double multiplier);
 
   int num_drives() const { return static_cast<int>(drives_.size()); }
   const std::string& name() const { return name_; }

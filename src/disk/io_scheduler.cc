@@ -115,6 +115,23 @@ void IoScheduler::Submit(IoRequest request) {
   Pump();
 }
 
+int IoScheduler::CancelAll() {
+  int dropped = 0;
+  for (auto& entry : owners_) {
+    dropped += static_cast<int>(entry.second.queue.size());
+    entry.second.queue.clear();
+    entry.second.deficit_bytes = 0;
+  }
+  dropped += volume_->CancelAll();
+  // The cancelled in-flight requests would have decremented outstanding_ in
+  // their completion wrapper; that wrapper will never run now, so reset the
+  // count here or dispatch stalls forever after a restart.
+  outstanding_ = 0;
+  resume_owner_ = {-1, -1, -1};
+  sim_->CancelOwned(retry_event_);
+  return dropped;
+}
+
 void IoScheduler::EnableTracing(Tracer* tracer, int process) {
   tracer_ = tracer;
   track_ = tracer->RegisterTrack(process, "sched");

@@ -57,6 +57,13 @@ class IoScheduler {
   // after the device finishes it.
   void Submit(IoRequest request);
 
+  // Fault injection (node crash): drops every queued request — scheduler
+  // queues plus the volume's queued and in-flight requests — without running
+  // any completion callback, resets DWRR/token-bucket dispatch state, and
+  // zeroes the outstanding count (the cancelled completions would otherwise
+  // never return their slots). Returns the number of dropped requests.
+  int CancelAll();
+
   // Per-owner scheduler-level stats (distinct from device-level OwnerStats:
   // these include time spent queued inside the scheduler).
   struct OwnerSchedStats {

@@ -1,0 +1,23 @@
+#include "src/fault/retry.h"
+
+#include <algorithm>
+
+namespace perfiso {
+
+SimDuration ComputeBackoff(const RetryPolicy& policy, int retry_index, Rng* rng) {
+  const int shift = std::clamp(retry_index, 0, 62);
+  // Saturating exponential: base << shift caps at backoff_cap well before the
+  // shift can overflow for any sane policy, but clamp anyway.
+  SimDuration delay = policy.backoff_base;
+  for (int i = 0; i < shift && delay < policy.backoff_cap; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, policy.backoff_cap);
+  if (policy.jitter_fraction > 0 && rng != nullptr) {
+    delay += static_cast<SimDuration>(static_cast<double>(delay) * policy.jitter_fraction *
+                                      rng->NextDouble());
+  }
+  return delay;
+}
+
+}  // namespace perfiso

@@ -1,0 +1,39 @@
+// Capped exponential backoff with deterministic jitter for chunk-RPC retries.
+//
+// Every retry arm in the tree must compute its delay through ComputeBackoff —
+// perfiso_lint rule FLT-001 flags retry scheduling without a backoff call.
+// The jitter draws from the caller's Rng (a query's own stream), so retry
+// timing is a pure function of the scenario spec like everything else.
+#ifndef PERFISO_SRC_FAULT_RETRY_H_
+#define PERFISO_SRC_FAULT_RETRY_H_
+
+#include "src/util/rng.h"
+#include "src/util/sim_time.h"
+
+namespace perfiso {
+
+// Retry policy for one RPC class (the index server's chunk lookups). Disabled
+// by default: no retry timers are armed, no RNG draws happen, and digests are
+// bit-identical to the pre-retry behavior.
+struct RetryPolicy {
+  bool enabled = false;
+  // Total attempts per chunk including the first; enabled => >= 2 makes sense
+  // but 1 is legal (timeout detection without re-issue).
+  int max_attempts = 3;
+  // Per-attempt timeout: a chunk not completed this long after an attempt is
+  // considered lost and the next attempt is scheduled.
+  SimDuration timeout = FromMillis(40);
+  SimDuration backoff_base = FromMillis(5);
+  SimDuration backoff_cap = FromMillis(80);
+  // Uniform jitter added on top: delay * jitter_fraction * U[0,1).
+  double jitter_fraction = 0.2;
+};
+
+// Backoff delay before retry number `retry_index` (0 = first retry): the
+// capped exponential min(cap, base * 2^retry_index) plus deterministic jitter
+// drawn from `rng`. When jitter_fraction is 0, no RNG draw happens.
+SimDuration ComputeBackoff(const RetryPolicy& policy, int retry_index, Rng* rng);
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_FAULT_RETRY_H_

@@ -21,9 +21,23 @@ struct IndexServer::QueryState {
   QueryDoneFn done;
   Rng rng{0};
   SimTime arrival = 0;
+  uint64_t live_key = 0;  // key in the server's live-query registry
   int chunks_left = 0;
   std::vector<bool> chunk_done;
   std::vector<bool> chunk_hedged;
+  // Attempts issued per chunk (original + retries, hedges excluded); sized
+  // only when the retry policy is enabled.
+  std::vector<uint8_t> chunk_attempts;
+  // Armed per-attempt timeout (or pending backoff wait) per chunk; cancelled
+  // when the chunk completes or the query reaches a terminal state.
+  std::vector<EventHandle> retry_events;
+  // Degrade-deadline timer (armed only when degrade_deadline > 0).
+  EventHandle deadline_event;
+  // Set when the deadline closed the fan-out at partial coverage: late chunk
+  // completions are ignored from then on.
+  bool fanout_closed = false;
+  bool degraded = false;
+  int chunks_served_at_close = 0;
   // Armed hedge timer per chunk; cancelled the moment the chunk completes
   // (or the query reaches a terminal state), so hedge timers for fast
   // lookups — the overwhelming majority — leave the event queue instead of
@@ -56,7 +70,10 @@ IndexServer::IndexServer(SimMachine* machine, IoScheduler* ssd, IoScheduler* hdd
   }
 }
 
-void IndexServer::ResetStats() { stats_ = Stats{}; }
+void IndexServer::ResetStats() {
+  stats_ = Stats{};
+  inflight_at_reset_ = inflight_;
+}
 
 void IndexServer::EnableTracing(Tracer* tracer, int process) {
   tracer_ = tracer;
@@ -65,6 +82,25 @@ void IndexServer::EnableTracing(Tracer* tracer, int process) {
 
 void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
   ++stats_.submitted;
+  if (crashed_) {
+    // No events are delivered to a crashed machine: the connection is simply
+    // refused. The cluster counts the leaf as failed for this query.
+    ++stats_.dropped_crash;
+    if (tracer_ != nullptr && work.trace_ctx == 0) {
+      const SimTime now = machine_->sim()->Now();
+      tracer_->EndTrace(tracer_->BeginTrace("isq", now), now, /*dropped=*/true);
+    }
+    if (done) {
+      QueryResult result;
+      result.id = work.id;
+      result.submit_time = machine_->sim()->Now();
+      result.finish_time = result.submit_time;
+      result.dropped = true;
+      result.chunks_total = work.fanout;
+      done(result);
+    }
+    return;
+  }
   if (inflight_ >= config_.max_inflight) {
     ++stats_.dropped_admission;
     if (tracer_ != nullptr && work.trace_ctx == 0) {
@@ -101,6 +137,12 @@ void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
   q->chunk_done.assign(static_cast<size_t>(work.fanout), false);
   q->chunk_hedged.assign(static_cast<size_t>(work.fanout), false);
   q->hedge_events.assign(static_cast<size_t>(work.fanout), EventHandle{});
+  if (config_.chunk_retry.enabled) {
+    q->chunk_attempts.assign(static_cast<size_t>(work.fanout), 1);
+    q->retry_events.assign(static_cast<size_t>(work.fanout), EventHandle{});
+  }
+  q->live_key = next_live_key_++;
+  live_queries_.emplace(q->live_key, q);
 
   // Network receive path runs in kernel context (OS tenant, outside the job).
   machine_->SpawnThread("is-recv", TenantClass::kOs, JobId{},
@@ -136,7 +178,7 @@ bool IndexServer::ExpireIfOverdue(const std::shared_ptr<QueryState>& q) {
   // Terminal state: release the completion callback (it may capture caller
   // state) so the query holds nothing beyond its own fields.
   q->done = nullptr;
-  CancelHedges(q);
+  DetachTerminal(q);
   return true;
 }
 
@@ -144,6 +186,19 @@ void IndexServer::CancelHedges(const std::shared_ptr<QueryState>& q) {
   for (EventHandle& hedge : q->hedge_events) {
     machine_->sim()->CancelOwned(hedge);
   }
+}
+
+void IndexServer::CancelRetries(const std::shared_ptr<QueryState>& q) {
+  for (EventHandle& pending : q->retry_events) {
+    machine_->sim()->CancelOwned(pending);
+  }
+}
+
+void IndexServer::DetachTerminal(const std::shared_ptr<QueryState>& q) {
+  CancelHedges(q);
+  CancelRetries(q);
+  machine_->sim()->CancelOwned(q->deadline_event);
+  live_queries_.erase(q->live_key);
 }
 
 void IndexServer::StartParse(const std::shared_ptr<QueryState>& q) {
@@ -167,6 +222,39 @@ void IndexServer::StartFanout(const std::shared_ptr<QueryState>& q) {
   for (int chunk = 0; chunk < q->work.fanout; ++chunk) {
     StartChunk(q, chunk, /*is_hedge=*/false);
   }
+  if (config_.degrade_deadline > 0) {
+    const SimTime deadline = q->arrival + config_.degrade_deadline;
+    if (deadline > machine_->sim()->Now()) {
+      q->deadline_event = machine_->sim()->Schedule(deadline, [this, q] {
+        q->deadline_event = EventHandle();
+        MaybeDegrade(q);
+      });
+    }
+  }
+}
+
+void IndexServer::MaybeDegrade(const std::shared_ptr<QueryState>& q) {
+  if (q->finished || q->fanout_closed || q->chunks_left == 0) {
+    return;
+  }
+  const int total = q->work.fanout;
+  const int served = total - q->chunks_left;
+  if (static_cast<double>(served) < config_.min_chunk_coverage * static_cast<double>(total)) {
+    // Below the k-of-n floor: keep waiting — hedges/retries may still recover
+    // the missing chunks, and the client timeout is the backstop.
+    return;
+  }
+  q->fanout_closed = true;
+  q->degraded = true;
+  q->chunks_served_at_close = served;
+  // The open attempts are abandoned: their timers leave the event queue and
+  // late completions are ignored by the fanout_closed guard.
+  CancelHedges(q);
+  CancelRetries(q);
+  if (tracer_ != nullptr) {
+    tracer_->Instant("query.degraded", track_, machine_->sim()->Now());
+  }
+  StartRank(q);
 }
 
 void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bool is_hedge) {
@@ -203,6 +291,9 @@ void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bo
 
   if (!is_hedge) {
     ++chunks_started_;
+    if (config_.chunk_retry.enabled) {
+      ArmRetryTimer(q, chunk);
+    }
   }
   // Hedge slow lookups once: if this chunk has not completed after
   // hedge_delay, launch a duplicate lookup and take whichever finishes first.
@@ -230,17 +321,65 @@ void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bo
 }
 
 void IndexServer::ChunkDone(const std::shared_ptr<QueryState>& q, int chunk) {
-  if (q->finished || q->chunk_done[static_cast<size_t>(chunk)]) {
-    return;  // expired, or the other copy of a hedged lookup already finished
+  if (q->finished || q->fanout_closed || q->chunk_done[static_cast<size_t>(chunk)]) {
+    return;  // expired, degraded, or the other copy of a hedged lookup finished
   }
   q->chunk_done[static_cast<size_t>(chunk)] = true;
   // The lookup beat its hedge timer (the common case): pull the timer out of
   // the event queue instead of letting it fire as a dead no-op, and drop the
   // handle so the eventual CancelHedges sweep doesn't cancel it twice.
   machine_->sim()->CancelOwned(q->hedge_events[static_cast<size_t>(chunk)]);
+  if (!q->retry_events.empty()) {
+    machine_->sim()->CancelOwned(q->retry_events[static_cast<size_t>(chunk)]);
+  }
   if (--q->chunks_left == 0) {
+    machine_->sim()->CancelOwned(q->deadline_event);
     StartRank(q);
   }
+}
+
+void IndexServer::ArmRetryTimer(const std::shared_ptr<QueryState>& q, int chunk) {
+  q->retry_events[static_cast<size_t>(chunk)] =
+      machine_->sim()->ScheduleAfter(config_.chunk_retry.timeout, [this, q, chunk] {
+        q->retry_events[static_cast<size_t>(chunk)] = EventHandle();
+        OnChunkTimeout(q, chunk);
+      });
+}
+
+void IndexServer::OnChunkTimeout(const std::shared_ptr<QueryState>& q, int chunk) {
+  if (q->finished || q->fanout_closed || q->chunk_done[static_cast<size_t>(chunk)]) {
+    return;
+  }
+  ++stats_.timeouts_detected;
+  const RetryPolicy& policy = config_.chunk_retry;
+  const int attempts = q->chunk_attempts[static_cast<size_t>(chunk)];
+  if (attempts >= policy.max_attempts) {
+    ++stats_.retry_exhausted;
+    return;  // budget spent; the degrade deadline / client timeout take over
+  }
+  // Capped exponential backoff with jitter from the query's own stream.
+  const SimDuration delay = ComputeBackoff(policy, attempts - 1, &q->rng);
+  if (machine_->sim()->Now() + delay >= q->arrival + config_.timeout) {
+    // A retry that cannot answer before the client gives up is wasted work.
+    ++stats_.retries_suppressed_deadline;
+    return;
+  }
+  q->retry_events[static_cast<size_t>(chunk)] =
+      machine_->sim()->ScheduleAfter(delay, [this, q, chunk] {
+        q->retry_events[static_cast<size_t>(chunk)] = EventHandle();
+        if (q->finished || q->fanout_closed || q->chunk_done[static_cast<size_t>(chunk)]) {
+          return;
+        }
+        ++stats_.retries_issued;
+        ++q->chunk_attempts[static_cast<size_t>(chunk)];
+        if (tracer_ != nullptr) {
+          tracer_->Instant("chunk.retry", track_, machine_->sim()->Now());
+        }
+        // Re-issue as a duplicate lookup (like a hedge: no budget increment,
+        // first answer wins) and arm the next per-attempt timeout.
+        StartChunk(q, chunk, /*is_hedge=*/true);
+        ArmRetryTimer(q, chunk);
+      });
 }
 
 void IndexServer::StartRank(const std::shared_ptr<QueryState>& q) {
@@ -319,7 +458,12 @@ void IndexServer::CompleteNow(const std::shared_ptr<QueryState>& q) {
   }
   q->finished = true;
   --inflight_;
-  CancelHedges(q);
+  DetachTerminal(q);
+  if (crashed_) {
+    // Invariant violation recorded for the checker: a crashed server must not
+    // deliver completions (Crash() fails every live query first).
+    ++stats_.completions_while_crashed;
+  }
   // Network send path (OS tenant).
   machine_->SpawnThread("is-send", TenantClass::kOs, JobId{},
                         ScaledUs(config_.send_cpu_us, 1.0), nullptr);
@@ -331,11 +475,18 @@ void IndexServer::CompleteNow(const std::shared_ptr<QueryState>& q) {
   const SimDuration latency = result.finish_time - q->arrival;
   result.latency_ms = ToMillis(latency);
   result.dropped = latency > config_.timeout;
+  result.chunks_total = q->work.fanout;
+  result.chunks_served = q->fanout_closed ? q->chunks_served_at_close : q->work.fanout;
+  result.degraded = q->degraded;
   if (result.dropped) {
     ++stats_.dropped_timeout;
   } else {
     ++stats_.completed;
     stats_.latency_ms.Add(result.latency_ms);
+    stats_.coverage.Add(result.Coverage());
+    if (q->degraded) {
+      ++stats_.completed_degraded;
+    }
   }
   if (q->owns_trace) {
     tracer_->EndTrace(q->trace_ctx, result.finish_time, result.dropped);
@@ -378,6 +529,66 @@ void IndexServer::MaybeFlushLog() {
       }
     };
     hdd_->Submit(std::move(write));
+  }
+}
+
+void IndexServer::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  const SimTime now = machine_->sim()->Now();
+  if (tracer_ != nullptr) {
+    tracer_->Instant("server.crash", track_, now);
+  }
+  // Fail every live query exactly once: conservation moves each of them to
+  // dropped_crash. Steal the registry first — done callbacks may re-enter the
+  // server (closed-loop clients resubmit on completion).
+  auto live = std::move(live_queries_);
+  live_queries_.clear();
+  for (auto& entry : live) {
+    auto q = entry.second.lock();
+    if (!q || q->finished) {
+      continue;
+    }
+    q->finished = true;
+    --inflight_;
+    ++stats_.dropped_crash;
+    CancelHedges(q);
+    CancelRetries(q);
+    machine_->sim()->CancelOwned(q->deadline_event);
+    if (q->owns_trace) {
+      tracer_->EndTrace(q->trace_ctx, now, /*dropped=*/true);
+    }
+    if (q->done) {
+      QueryResult result;
+      result.id = q->work.id;
+      result.submit_time = q->arrival;
+      result.finish_time = now;
+      result.latency_ms = ToMillis(now - q->arrival);
+      result.dropped = true;
+      result.chunks_total = q->work.fanout;
+      result.chunks_served = q->work.fanout - q->chunks_left;
+      auto done = std::move(q->done);
+      q->done = nullptr;
+      done(result);
+    }
+  }
+  // The log pipeline dies with the process: buffered bytes are lost and
+  // stalled completions were failed above. In-flight HDD writes are cancelled
+  // by the rig (volume CancelAll), so their completions never fire.
+  log_waiters_.clear();
+  log_buffered_bytes_ = 0;
+  log_inflight_bytes_ = 0;
+}
+
+void IndexServer::Restart() {
+  if (!crashed_) {
+    return;
+  }
+  crashed_ = false;
+  if (tracer_ != nullptr) {
+    tracer_->Instant("server.restart", track_, machine_->sim()->Now());
   }
 }
 

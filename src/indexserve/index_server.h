@@ -30,7 +30,10 @@
 #include <memory>
 #include <string>
 
+#include <map>
+
 #include "src/disk/io_scheduler.h"
+#include "src/fault/retry.h"
 #include "src/sim/machine.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
@@ -79,6 +82,23 @@ struct IndexServeConfig {
   SimDuration timeout = FromMillis(450);
   int max_inflight = 1000;
 
+  // --- Graceful degradation (k-of-n chunk coverage) --------------------------
+  // When positive, a per-query deadline timer fires this long after arrival;
+  // if the fan-out is still open and at least min_chunk_coverage of the chunks
+  // have answered, the query closes its fan-out and proceeds to rank with
+  // partial coverage (recorded per query, counted as completed_degraded).
+  // 0 disables the timer entirely — no event is scheduled, digests are
+  // bit-identical to the pre-degradation behavior.
+  SimDuration degrade_deadline = 0;
+  double min_chunk_coverage = 0.5;
+
+  // --- Chunk retry (timeout detection + capped exponential backoff) ----------
+  // Disabled by default: no per-attempt timers, no RNG draws, no digest
+  // drift. When enabled, every chunk attempt arms a timeout; a lost chunk is
+  // re-issued after ComputeBackoff(...) unless the backoff would land past
+  // the client timeout (suppressed, the deadline/timeout path takes over).
+  RetryPolicy chunk_retry;
+
   // --- HDD logging -----------------------------------------------------------
   int64_t log_bytes_per_query = 2048;
   int64_t log_flush_bytes = 256 * 1024;
@@ -93,8 +113,19 @@ struct QueryResult {
   uint64_t id = 0;
   SimTime submit_time = 0;
   SimTime finish_time = 0;
-  bool dropped = false;  // timed out or rejected at admission
+  bool dropped = false;  // timed out, rejected at admission, or lost to a crash
   double latency_ms = 0;
+  // Chunk coverage: how much of the fan-out answered before the query closed.
+  // Full-coverage completions have chunks_served == chunks_total; degraded
+  // completions (k-of-n answers under a deadline) have fewer.
+  int chunks_total = 0;
+  int chunks_served = 0;
+  bool degraded = false;
+
+  double Coverage() const {
+    return chunks_total == 0 ? 1.0
+                             : static_cast<double>(chunks_served) / static_cast<double>(chunks_total);
+  }
 };
 
 class IndexServer {
@@ -114,14 +145,26 @@ class IndexServer {
 
   struct Stats {
     int64_t submitted = 0;
-    int64_t completed = 0;          // within the timeout
+    int64_t completed = 0;          // within the timeout (includes degraded)
+    int64_t completed_degraded = 0; // subset of completed: closed at partial coverage
     int64_t dropped_timeout = 0;
     int64_t dropped_admission = 0;
+    int64_t dropped_crash = 0;      // failed by a crash, or rejected while down
     int64_t hedges_issued = 0;
     int64_t log_stalls = 0;
+    int64_t timeouts_detected = 0;  // per-attempt chunk timeouts that fired
+    int64_t retries_issued = 0;
+    int64_t retry_exhausted = 0;    // chunk timed out with no attempts left
+    int64_t retries_suppressed_deadline = 0;  // backoff would land past the deadline
+    // Invariant counter (InvariantChecker asserts it stays 0): a query must
+    // never reach completion while its server is crashed.
+    int64_t completions_while_crashed = 0;
     LatencyRecorder latency_ms;     // completed queries only
+    LatencyRecorder coverage;       // per completed query, fraction in [0, 1]
 
-    int64_t TotalDropped() const { return dropped_timeout + dropped_admission; }
+    int64_t TotalDropped() const {
+      return dropped_timeout + dropped_admission + dropped_crash;
+    }
     double DropFraction() const {
       return submitted == 0 ? 0 : static_cast<double>(TotalDropped()) / submitted;
     }
@@ -138,7 +181,24 @@ class IndexServer {
   // completion, timeout, or admission drop.
   void EnableTracing(Tracer* tracer, int process);
 
+  // --- Fault injection: process crash / restart ------------------------------
+  // Crash models the index-serving process dying: every live query fails
+  // exactly once (conservation moves it to dropped_crash), its hedge/retry/
+  // deadline timers leave the event queue, and the log pipeline state is
+  // lost. New submissions are rejected (dropped_crash) until Restart(). The
+  // caller (IndexNodeRig::Crash) also cancels in-flight disk I/O.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+
   int inflight() const { return inflight_; }
+  // Queries that were in flight when ResetStats last ran; they complete (or
+  // drop) after the reset without a matching `submitted` tick. Conservation
+  // therefore reads: submitted + inflight_at_reset ==
+  // completed + dropped_* + inflight.
+  int64_t inflight_at_reset() const { return inflight_at_reset_; }
+  // Cumulative non-hedge chunk attempts; the hedge budget's denominator.
+  int64_t chunks_started() const { return chunks_started_; }
   // Number of QueryState objects currently alive. Test hook for the lifetime
   // regression: after the simulator fully drains and all completion events
   // (including in-flight I/O) have fired, this must return to zero — a stored
@@ -157,6 +217,17 @@ class IndexServer {
   // Removes every still-armed hedge timer of a terminal query from the event
   // queue (each timer holds a reference to the query state).
   void CancelHedges(const std::shared_ptr<QueryState>& q);
+  // Same for per-chunk retry timers.
+  void CancelRetries(const std::shared_ptr<QueryState>& q);
+  // Cancels every timer the query owns and drops it from the live registry;
+  // called on every terminal transition (complete, expire, crash).
+  void DetachTerminal(const std::shared_ptr<QueryState>& q);
+  // Arms the per-attempt chunk timeout (retry must be enabled).
+  void ArmRetryTimer(const std::shared_ptr<QueryState>& q, int chunk);
+  void OnChunkTimeout(const std::shared_ptr<QueryState>& q, int chunk);
+  // Degrade-deadline fired: if coverage has reached the k-of-n floor, close
+  // the fan-out and rank with partial results.
+  void MaybeDegrade(const std::shared_ptr<QueryState>& q);
   void StartParse(const std::shared_ptr<QueryState>& q);
   void StartFanout(const std::shared_ptr<QueryState>& q);
   void StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bool is_hedge);
@@ -181,7 +252,15 @@ class IndexServer {
   JobId job_;
   Stats stats_;
   int inflight_ = 0;
+  int64_t inflight_at_reset_ = 0;
   int64_t chunks_started_ = 0;  // cumulative, for the hedge budget
+  bool crashed_ = false;
+  // Every live (non-terminal) query, keyed by a server-local monotonic id
+  // (trace ids can recur when a closed-loop client wraps its trace). Crash()
+  // walks this to fail in-flight queries; weak so the registry never extends
+  // a state's lifetime.
+  std::map<uint64_t, std::weak_ptr<QueryState>> live_queries_;
+  uint64_t next_live_key_ = 0;
 
   int64_t log_buffered_bytes_ = 0;   // accumulated, not yet in a flush
   int64_t log_inflight_bytes_ = 0;   // handed to the HDD, not yet durable

@@ -90,7 +90,7 @@ void Link::Pump() {
   // is stale, so remove it from the queue eagerly.
   sim_->CancelOwned(retry_event_);
   busy_ = true;
-  const auto tx_time = static_cast<SimDuration>(static_cast<double>(chunk) / rate_bps_ *
+  const auto tx_time = static_cast<SimDuration>(static_cast<double>(chunk) / EffectiveRate() *
                                                 static_cast<double>(kSecond));
   sim_->ScheduleAfter(tx_time, [this, queue, chunk] { OnChunkDone(queue, chunk); });
 }
@@ -104,7 +104,7 @@ void Link::OnChunkDone(int queue, int64_t chunk) {
   queued_bytes_ -= chunk;
   ++stats_.chunks;
   stats_.bytes_serialized[queue] += chunk;
-  stats_.busy_ns += static_cast<SimDuration>(static_cast<double>(chunk) / rate_bps_ *
+  stats_.busy_ns += static_cast<SimDuration>(static_cast<double>(chunk) / EffectiveRate() *
                                              static_cast<double>(kSecond));
   if (flow->remaining_on_link == 0) {
     ++stats_.flows_completed[queue];

@@ -66,6 +66,13 @@ class Link {
   const std::string& name() const { return name_; }
   int64_t QueuedBytes() const { return queued_bytes_; }
 
+  // Fault injection (link degradation): chunks *started* while the multiplier
+  // is in effect serialize at `fraction` of nominal rate (a chunk already on
+  // the wire keeps its original duration). 1.0 restores nominal; the healthy
+  // path skips the scaling arithmetic so no-fault runs stay bit-identical.
+  void SetRateMultiplier(double fraction) { rate_multiplier_ = fraction; }
+  double rate_multiplier() const { return rate_multiplier_; }
+
   struct LinkStats {
     int64_t bytes_serialized[kNumNetClasses] = {0, 0};
     int64_t flows_completed[kNumNetClasses] = {0, 0};
@@ -87,9 +94,14 @@ class Link {
   int PickQueue() const;
   void Pump();
   void OnChunkDone(int queue, int64_t chunk);
+  // Nominal rate scaled by the fault multiplier (branch-free on 1.0).
+  double EffectiveRate() const {
+    return rate_multiplier_ == 1.0 ? rate_bps_ : rate_bps_ * rate_multiplier_;
+  }
 
   Simulator* sim_;
   double rate_bps_;
+  double rate_multiplier_ = 1.0;
   int64_t chunk_bytes_;
   Discipline discipline_;
   std::string name_;

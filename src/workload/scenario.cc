@@ -31,6 +31,7 @@ namespace {
 constexpr char kWorkloadPrefix[] = "workload.";
 constexpr char kPerfIsoPrefix[] = "perfiso.";
 constexpr char kObsPrefix[] = "obs.";
+constexpr char kFaultPrefix[] = "fault.";
 
 std::string EncodePiecewise(const std::vector<PiecewisePoint>& points) {
   std::string out;
@@ -151,20 +152,23 @@ ConfigMap ScenarioSpec::ToConfigMap() const {
     }
   }
   obs.AppendToConfigMap(&map);
+  fault.AppendToConfigMap(&map);
   return map;
 }
 
 StatusOr<ScenarioSpec> ScenarioSpec::FromConfigMap(const ConfigMap& map) {
   ScenarioSpec spec;
 
-  // Split namespaces up front; anything outside workload./perfiso./obs. is
-  // foreign.
+  // Split namespaces up front; anything outside workload./perfiso./obs./
+  // fault. is foreign.
   ConfigMap perfiso_map;
   for (const auto& [key, value] : map.entries()) {
     if (key.rfind(kPerfIsoPrefix, 0) == 0) {
       perfiso_map.SetString(key.substr(sizeof(kPerfIsoPrefix) - 1), value);
-    } else if (key.rfind(kWorkloadPrefix, 0) != 0 && key.rfind(kObsPrefix, 0) != 0) {
-      return InvalidArgumentError("scenario key outside workload./perfiso./obs.: " + key);
+    } else if (key.rfind(kWorkloadPrefix, 0) != 0 && key.rfind(kObsPrefix, 0) != 0 &&
+               key.rfind(kFaultPrefix, 0) != 0) {
+      return InvalidArgumentError(
+          "scenario key outside workload./perfiso./obs./fault.: " + key);
     }
   }
 
@@ -306,6 +310,10 @@ StatusOr<ScenarioSpec> ScenarioSpec::FromConfigMap(const ConfigMap& map) {
   PERFISO_RETURN_IF_ERROR(obs.status());
   spec.obs = *obs;
 
+  auto fault = FaultPlan::FromConfigMap(map);
+  PERFISO_RETURN_IF_ERROR(fault.status());
+  spec.fault = *fault;
+
   PERFISO_RETURN_IF_ERROR(spec.Validate());
 
   // Unknown-key rejection: re-serialize the parsed spec and require every
@@ -350,6 +358,9 @@ Status ScenarioSpec::Validate() const {
   if (trace_count == 0) {
     return InvalidArgumentError("trace_count must be positive");
   }
+  // Fault nodes must fit the topology (single-box scenarios have one node).
+  const int fault_nodes = topology.columns > 0 ? topology.columns * topology.rows : 1;
+  PERFISO_RETURN_IF_ERROR(fault.Validate(fault_nodes));
   return OkStatus();
 }
 

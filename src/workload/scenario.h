@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "src/fault/fault_plan.h"
 #include "src/obs/obs.h"
 #include "src/perfiso/perfiso_config.h"
 #include "src/util/config.h"
@@ -78,6 +79,11 @@ struct ScenarioSpec {
   // serialized and the run constructs no ObsContext, so legacy configs and
   // golden digests are untouched.
   ObsSpec obs;
+
+  // Fault plan (fault.* namespace). Same contract as obs: disabled by
+  // default, serializes nothing, constructs no FaultInjector, and leaves
+  // every golden digest bit-identical.
+  FaultPlan fault;
 
   SimDuration warmup = kSecond;
   SimDuration measure = 8 * kSecond;  // benches scale this by BenchScale()

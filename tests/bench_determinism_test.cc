@@ -255,6 +255,31 @@ TEST(GoldenDigestTest, FullSamplingObservabilityLeavesDigestsUnchanged) {
   }
 }
 
+// The fault subsystem is contractually inert while disabled (DESIGN.md §8):
+// with the fault plan left disabled — even with a different fault seed and a
+// staged (but disabled) event list — the pinned goldens must match
+// bit-for-bit. No RNG stream forks, no event is scheduled, and the retry /
+// degradation paths in the server are fully gated.
+TEST(GoldenDigestTest, DisabledFaultPlanLeavesDigestsUnchanged) {
+  const ScopedEnv scale_guard("PERFISO_BENCH_SCALE", "1");
+  for (const Golden& golden : kGoldens) {
+    auto spec = bench::FindScenario(golden.scenario);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    spec->measure = 3 * kSecond;
+    spec->fault.enabled = false;  // explicit, with non-default fields staged
+    spec->fault.seed = 0xdeadbeef;
+    spec->fault.events.push_back(
+        FaultEvent{FaultKind::kNodeCrash, 0, /*at_sec=*/1.5, /*duration_sec=*/1.0, 1.0});
+    const SingleBoxResult result = RunSingleBox(*spec);
+    EXPECT_EQ(result.latency_digest, golden.digest)
+        << golden.scenario << ": a disabled fault plan changed simulation "
+        << "results — the fault subsystem must be inert when off (DESIGN.md §8)";
+    EXPECT_EQ(result.queries, golden.queries) << golden.scenario;
+    EXPECT_EQ(result.faults_injected, 0);
+    EXPECT_EQ(result.dropped_crash, 0);
+  }
+}
+
 TEST(BenchDeterminismTest, Fig09StyleClusterDigestsAreIdentical) {
   const ClusterDigest first = RunFig09Style();
   const ClusterDigest second = RunFig09Style();

@@ -251,5 +251,61 @@ TEST(ScenarioSpecTest, SurvivesTextSerialization) {
   EXPECT_EQ(parsed->tenants.cpu_bully_threads, 48);
 }
 
+// --- fault.* namespace ---------------------------------------------------------
+
+TEST(ScenarioSpecTest, FaultPlanRoundTripsThroughScenario) {
+  ScenarioSpec spec;
+  spec.name = "faulted";
+  spec.fault.enabled = true;
+  spec.fault.seed = 77;
+  spec.fault.events.push_back(FaultEvent{FaultKind::kDiskDegrade, 0, 2.5, 1.5, 12.0});
+  spec.fault.events.push_back(FaultEvent{FaultKind::kNodeCrash, 0, 4.0, 0.5, 1.0});
+
+  auto parsed = ScenarioSpec::FromConfigMap(spec.ToConfigMap());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->fault.enabled);
+  EXPECT_EQ(parsed->fault.seed, 77u);
+  ASSERT_EQ(parsed->fault.events.size(), 2u);
+  EXPECT_EQ(parsed->fault.events[0].kind, FaultKind::kDiskDegrade);
+  EXPECT_DOUBLE_EQ(parsed->fault.events[0].severity, 12.0);
+  EXPECT_EQ(parsed->fault.events[1].kind, FaultKind::kNodeCrash);
+  EXPECT_DOUBLE_EQ(parsed->fault.events[1].at_sec, 4.0);
+}
+
+TEST(ScenarioSpecTest, DisabledFaultPlanSerializesNoKeys) {
+  // The inertness contract starts at the serialization layer: a spec that
+  // never mentions faults must not emit fault.* keys (golden configs and
+  // digests stay untouched).
+  ScenarioSpec spec;
+  spec.name = "plain";
+  const ConfigMap map = spec.ToConfigMap();
+  for (const auto& [key, value] : map.entries()) {
+    EXPECT_NE(key.rfind("fault.", 0), 0u) << key << " = " << value;
+  }
+}
+
+TEST(ScenarioSpecTest, StrayFaultKeysRejected) {
+  ConfigMap map;
+  map.SetBool("fault.enabld", true);  // typo inside fault.*
+  EXPECT_FALSE(ScenarioSpec::FromConfigMap(map).ok());
+
+  ConfigMap empty_events;
+  empty_events.SetBool("fault.enabled", true);
+  empty_events.SetString("fault.events", "");
+  EXPECT_FALSE(ScenarioSpec::FromConfigMap(empty_events).ok());
+}
+
+TEST(ScenarioSpecTest, FaultNodeOutsideTopologyRejected) {
+  ScenarioSpec spec;  // single box: fault nodes must be 0
+  spec.fault.enabled = true;
+  spec.fault.events.push_back(FaultEvent{FaultKind::kNodeCrash, 1, 1.0, 1.0, 1.0});
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec.topology = TopologySpec{3, 2, 1};  // 6 index nodes: node 1 is fine now
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.fault.events[0].node = 6;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
 }  // namespace
 }  // namespace perfiso

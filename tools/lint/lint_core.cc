@@ -367,6 +367,17 @@ struct ClassScope {
   std::vector<std::pair<int, std::string>> handle_members;  // (line, name)
 };
 
+// Case-insensitive substring probe for FLT-001's identifier matching, so
+// retry_count, RetryLoop, and kMaxRetries all read as retry-related.
+bool IdentContains(const std::string& text, const std::string& lowered_needle) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (const char c : text) {
+    lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lowered.find(lowered_needle) != std::string::npos;
+}
+
 bool BufferContains(const std::vector<const Token*>& buf, const std::string& text) {
   for (const Token* t : buf) {
     if (t->text == text) {
@@ -556,6 +567,85 @@ std::vector<Finding> LintSource(const std::string& path, const std::string& cont
                 "' must be a single lowercase dot-separated string literal "
                 "(\"layer.event\") — hot paths never build metric/span names, "
                 "and the export vocabulary stays greppable");
+      }
+    }
+  }
+
+  // FLT-001 pass: retries must be bounded and backed off. Two shapes:
+  //  (a) ScheduleAfter(...) arming something retry-named with no
+  //      backoff-derived delay anywhere nearby — a fixed-delay retry hammers
+  //      a degraded resource at line rate instead of yielding to it;
+  //  (b) a while/for loop whose header names a retry variable but carries no
+  //      bound comparison — an unbounded retry loop can spin forever when the
+  //      fault never clears. ScheduleOrTighten is exempt (the disk/net bucket
+  //      wakes reuse a retry_event_ slot but are paced by the resource model,
+  //      not a retry policy), as are range-for loops (bounded by their
+  //      container).
+  {
+    std::set<int> retry_lines;    // lines holding a retry-named identifier
+    std::set<int> backoff_lines;  // lines holding a backoff-named identifier
+    for (const Token& t : toks) {
+      if (t.kind != Token::Kind::kIdent) {
+        continue;
+      }
+      if (IdentContains(t.text, "retry")) {
+        retry_lines.insert(t.line);
+      }
+      if (IdentContains(t.text, "backoff")) {
+        backoff_lines.insert(t.line);
+      }
+    }
+    const auto any_in = [](const std::set<int>& lines, int lo, int hi) {
+      const auto it = lines.lower_bound(lo);
+      return it != lines.end() && *it <= hi;
+    };
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdent || i + 1 >= toks.size() || toks[i + 1].text != "(") {
+        continue;
+      }
+      // (a) Retry arming without backoff. "Retry-named" means an identifier
+      // containing "retry" on the call's own line or the two above (the
+      // handle being assigned, or the callback being armed); "nearby" backoff
+      // evidence is any backoff-named identifier within ±20 lines, which
+      // keeps a ComputeBackoff() a few statements earlier in scope.
+      if (t.text == "ScheduleAfter") {
+        if (any_in(retry_lines, t.line - 2, t.line) &&
+            !any_in(backoff_lines, t.line - 20, t.line + 20)) {
+          add(t.line, "perfiso-FLT-001",
+              "retry armed via ScheduleAfter with no backoff in sight — "
+              "re-issues must use ComputeBackoff (src/fault/retry.h) so a "
+              "degraded resource is not hammered at a fixed cadence");
+        }
+        continue;
+      }
+      // (b) Unbounded retry loop. Scan the loop header: a retry-named
+      // identifier with no `<`/`>` bound comparison is flagged; a top-level
+      // `:` marks a range-for, bounded by its container.
+      if (t.text == "while" || t.text == "for") {
+        int depth = 1;
+        bool names_retry = false;
+        bool has_bound = false;
+        bool range_for = false;
+        for (size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+          const Token& h = toks[j];
+          if (h.text == "(") {
+            ++depth;
+          } else if (h.text == ")") {
+            --depth;
+          } else if (h.kind == Token::Kind::kIdent) {
+            names_retry = names_retry || IdentContains(h.text, "retry");
+          } else if (h.kind == Token::Kind::kPunct) {
+            has_bound = has_bound || h.text == "<" || h.text == ">";
+            range_for = range_for || (depth == 1 && h.text == ":");
+          }
+        }
+        if (names_retry && !has_bound && !range_for) {
+          add(t.line, "perfiso-FLT-001",
+              "retry loop with no bound in its header — cap attempts "
+              "(RetryPolicy::max_attempts) so a fault that never clears "
+              "cannot spin the simulation forever");
+        }
       }
     }
   }

@@ -21,6 +21,13 @@
 //            (src/, bench/): hash-seed iteration order varies across runs.
 //   DET-004  no ordered containers keyed by raw pointer value: address order
 //            is nondeterministic across runs.
+//   FLT-001  retries must be bounded and backed off: (a) a ScheduleAfter
+//            arming a retry-named handle/callback with no backoff-named
+//            identifier within ±20 lines (re-issues go through
+//            ComputeBackoff, src/fault/retry.h); (b) a while/for loop whose
+//            header names a retry variable but carries no bound comparison.
+//            ScheduleOrTighten (resource-model bucket wakes) and range-for
+//            loops are exempt.
 //   LIFE-001 EventHandle members in a class with no destructor and no
 //            Cancel* member: armed events can outlive their owner (heuristic,
 //            suppress when another object owns the lifecycle).

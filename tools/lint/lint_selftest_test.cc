@@ -84,6 +84,61 @@ TEST(LintFixtures, Life001FlagsHandleMembersWithoutTeardown) {
   EXPECT_EQ(got, want);  // dtor / CancelAll / NOLINT classes stay clean
 }
 
+TEST(LintFixtures, Flt001FlagsRetryWithoutBackoffAndUnboundedLoops) {
+  const RL got = RuleLines(LintFixture("src/bad_retry.cc"));
+  const RL want = {
+      {"perfiso-FLT-001", 26},  // ScheduleAfter-armed retry, no backoff near
+      {"perfiso-FLT-001", 31},  // while (r->NeedsRetry()) with no bound
+  };
+  // Quiet by design: the NOLINTNEXTLINE probe, ScheduleOrTighten bucket
+  // wakes, range-for over retry handles, ComputeBackoff-fed ScheduleAfter,
+  // the `<`-bounded retry loop, and the retry-free plain timer.
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintSource, Flt001BackoffEvidenceWindowIsTwentyLines) {
+  // Backoff evidence exactly 20 lines above the arming line still counts...
+  const std::string near_backoff =
+      "void A(S* s) { auto d = ComputeBackoff(p, n, r); }\n" + std::string(19, '\n') +
+      "void B(S* s) { s->retry_h = s->sim->ScheduleAfter(d, cb); }\n";
+  EXPECT_TRUE(LintSource("src/x.cc", near_backoff).empty());
+  // ...but 21 lines away it no longer reaches.
+  const std::string far_backoff =
+      "void A(S* s) { auto d = ComputeBackoff(p, n, r); }\n" + std::string(20, '\n') +
+      "void B(S* s) { s->retry_h = s->sim->ScheduleAfter(d, cb); }\n";
+  const auto findings = LintSource("src/x.cc", far_backoff);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "perfiso-FLT-001");
+  EXPECT_EQ(findings[0].line, 22);
+}
+
+TEST(LintSource, Flt001RetryNameWindowIsTwoLinesAboveTheCall) {
+  // A retry identifier two lines above the ScheduleAfter still marks it as a
+  // retry arm; three lines above does not.
+  const auto in_window = LintSource(
+      "src/x.cc", "int retry_budget;\nint y;\nauto h = sim->ScheduleAfter(d, cb);\n");
+  ASSERT_EQ(in_window.size(), 1u);
+  EXPECT_EQ(in_window[0].rule, "perfiso-FLT-001");
+  const auto out_of_window = LintSource(
+      "src/x.cc", "int retry_budget;\nint y;\nint z;\nauto h = sim->ScheduleAfter(d, cb);\n");
+  EXPECT_TRUE(out_of_window.empty());
+}
+
+TEST(LintSource, Flt001LoopHeaderOnlyNotBody) {
+  // Retry identifiers in the loop *body* do not make the loop a retry loop —
+  // only the header is inspected.
+  const auto findings = LintSource(
+      "src/x.cc", "void F(S* s) { while (s->Pending()) { s->retry_count++; } }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, Flt001CaseInsensitiveIdentifiers) {
+  const auto findings = LintSource(
+      "src/x.cc", "void F(S* s) { while (s->NeedsRETRY()) { s->Go(); } }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "perfiso-FLT-001");
+}
+
 TEST(LintFixtures, Obs001FlagsNonLiteralMetricNames) {
   const RL got = RuleLines(LintFixture("src/bad_obs_name.cc"));
   const RL want = {

@@ -1,0 +1,79 @@
+// FLT-001 fixture: retries without backoff and unbounded retry loops, next
+// to the sanctioned shapes (ComputeBackoff nearby, bounded loops, range-for,
+// ScheduleOrTighten) that must stay quiet. Layout note: the clean
+// ComputeBackoff call sits more than 20 lines below the violations so its
+// presence cannot exempt them.
+#include "src/fault/retry.h"
+#include "src/sim/simulator.h"
+
+namespace fixture {
+
+struct Rig {
+  perfiso::Simulator* sim;
+  perfiso::EventHandle retry_event;
+  std::vector<perfiso::EventHandle> retry_events;
+  perfiso::RetryPolicy policy;
+  perfiso::Rng* rng;
+  int retry_count = 0;
+  bool NeedsRetry() const;
+  void Reissue();
+  ~Rig();
+};
+
+// Violation (a): a fixed-cadence retry — ScheduleAfter arming a retry with
+// no backoff anywhere nearby.
+void HammerRetry(Rig* r) {
+  r->retry_event = r->sim->ScheduleAfter(100, [r] { r->Reissue(); });
+}
+
+// Violation (b): a retry loop whose header carries no bound.
+void SpinRetry(Rig* r) {
+  while (r->NeedsRetry()) {
+    r->Reissue();
+  }
+}
+
+// Suppressed: the cadence here is intentional (probe, not a retry).
+void SuppressedProbe(Rig* r) {
+  // NOLINTNEXTLINE(perfiso-FLT-001) -- fixed-cadence health probe by design
+  r->retry_event = r->sim->ScheduleAfter(100, [r] { r->Reissue(); });
+}
+
+// Clean: ScheduleOrTighten bucket wakes are paced by the resource model.
+void BucketWake(Rig* r) {
+  r->sim->ScheduleOrTighten(r->retry_event, 100, [r] { r->Reissue(); });
+}
+
+// Clean: range-for over retry handles is bounded by the container.
+void DrainRetries(Rig* r) {
+  for (perfiso::EventHandle& pending : r->retry_events) {
+    r->sim->CancelOwned(pending);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Sanctioned backoff shapes. This block sits more than 20 lines below every
+// violation above: the ComputeBackoff identifier here must not leak into
+// their ±20-line evidence window, or the seeded findings would go quiet.
+// --------------------------------------------------------------------------
+
+// Clean: the re-issue delay comes from ComputeBackoff one line up.
+void BackedOffRetry(Rig* r) {
+  const perfiso::SimDuration delay = perfiso::ComputeBackoff(r->policy, r->retry_count, r->rng);
+  r->retry_event = r->sim->ScheduleAfter(delay, [r] { r->Reissue(); });
+}
+
+// Clean: bounded retry loop (explicit `<` comparison in the header).
+void BoundedRetry(Rig* r) {
+  for (int retry = 0; retry < r->policy.max_attempts; ++retry) {
+    r->Reissue();
+  }
+}
+
+// Clean: ScheduleAfter with nothing retry-named on its line or the two
+// above (the backoff evidence above also keeps this window quiet).
+void PlainTimer(Rig* r) {
+  r->sim->ScheduleAfter(100, [r] { r->Reissue(); });
+}
+
+}  // namespace fixture
