@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Engine-throughput regression guard for bench-smoke CI.
+
+Compares a freshly produced BENCH_micro_overheads.json against the committed
+baseline and fails if either guarded metric (pooled_events_per_sec,
+cancel_pairs_per_sec) dropped by more than --max-drop (default 15%).
+
+Absolute events-per-second numbers track the machine as much as the code, so
+CI passes --normalize-key legacy_events_per_sec: both sides are divided by
+the legacy-engine rate measured in the same process, turning the guard into
+"the pooled engine's advantage over the in-binary baseline must not shrink
+>15%" — stable across runner generations while still catching every real
+hot-path regression. Run without --normalize-key for same-machine A/B runs.
+
+Standard library only; exit code 0 = pass, 1 = regression, 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+
+GUARDED_METRICS = ("pooled_events_per_sec", "cancel_pairs_per_sec")
+ROW_LABEL = "engine_throughput"
+
+
+def load_row(path, label):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    for row in doc.get("rows", []):
+        if row.get("label") == label:
+            return row.get("metrics", {})
+    sys.exit(f"error: {path} has no '{label}' row")
+
+
+def guarded_value(metrics, key, normalize_key, path):
+    if key not in metrics:
+        sys.exit(f"error: {path} row '{ROW_LABEL}' lacks metric '{key}'")
+    value = float(metrics[key])
+    if normalize_key is None:
+        return value
+    if normalize_key not in metrics:
+        sys.exit(f"error: {path} row '{ROW_LABEL}' lacks normalize key '{normalize_key}'")
+    denom = float(metrics[normalize_key])
+    if denom <= 0:
+        sys.exit(f"error: {path} normalize key '{normalize_key}' is not positive")
+    return value / denom
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, help="just-produced BENCH_micro_overheads.json")
+    parser.add_argument("--baseline", required=True, help="committed BENCH_micro_overheads.json")
+    parser.add_argument("--max-drop", type=float, default=0.15,
+                        help="maximum tolerated fractional drop (default 0.15)")
+    parser.add_argument("--normalize-key", default=None,
+                        help="divide guarded metrics by this same-row metric on both sides "
+                             "(e.g. legacy_events_per_sec) before comparing")
+    args = parser.parse_args()
+    if not 0 <= args.max_drop < 1:
+        parser.error("--max-drop must be in [0, 1)")
+
+    fresh = load_row(args.fresh, ROW_LABEL)
+    baseline = load_row(args.baseline, ROW_LABEL)
+
+    failures = []
+    for key in GUARDED_METRICS:
+        fresh_v = guarded_value(fresh, key, args.normalize_key, args.fresh)
+        base_v = guarded_value(baseline, key, args.normalize_key, args.baseline)
+        if base_v <= 0:
+            sys.exit(f"error: baseline {key} is not positive")
+        change = fresh_v / base_v - 1.0
+        unit = f" (normalized by {args.normalize_key})" if args.normalize_key else ""
+        print(f"{key}{unit}: baseline {base_v:.4g}, fresh {fresh_v:.4g} ({change:+.1%})")
+        if change < -args.max_drop:
+            failures.append(key)
+
+    if failures:
+        print(f"FAIL: {', '.join(failures)} dropped more than {args.max_drop:.0%} "
+              f"below the committed baseline", file=sys.stderr)
+        return 1
+    print(f"OK: guarded metrics within {args.max_drop:.0%} of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

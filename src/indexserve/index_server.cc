@@ -7,30 +7,33 @@
 namespace perfiso {
 
 struct IndexServer::QueryState {
-  explicit QueryState(std::shared_ptr<int64_t> live) : live_counter(std::move(live)) {
+  QueryState(std::shared_ptr<int64_t> live, std::shared_ptr<VectorPool<ChunkSlot>> pool)
+      : live_counter(std::move(live)), chunk_pool(std::move(pool)) {
     ++*live_counter;
   }
-  ~QueryState() { --*live_counter; }
+  ~QueryState() {
+    --*live_counter;
+    // Park the slot vector (with its capacity) for the next query. The pool
+    // is held by shared_ptr, so a state outliving its server still has a
+    // valid place to return the carcass to.
+    chunk_pool->Put(std::move(chunks));
+  }
   QueryState(const QueryState&) = delete;
   QueryState& operator=(const QueryState&) = delete;
 
   // Destruction tracker shared with the owning server; lets tests assert that
   // no query state survives a drained simulation (lifetime regression hook).
   std::shared_ptr<int64_t> live_counter;
+  std::shared_ptr<VectorPool<ChunkSlot>> chunk_pool;
   QueryWork work;
   QueryDoneFn done;
   Rng rng{0};
   SimTime arrival = 0;
   uint64_t live_key = 0;  // key in the server's live-query registry
   int chunks_left = 0;
-  std::vector<bool> chunk_done;
-  std::vector<bool> chunk_hedged;
-  // Attempts issued per chunk (original + retries, hedges excluded); sized
-  // only when the retry policy is enabled.
-  std::vector<uint8_t> chunk_attempts;
-  // Armed per-attempt timeout (or pending backoff wait) per chunk; cancelled
-  // when the chunk completes or the query reaches a terminal state.
-  std::vector<EventHandle> retry_events;
+  // One slot per fan-out chunk (flags, attempt count, armed timers); the
+  // vector itself is recycled through chunk_pool.
+  std::vector<ChunkSlot> chunks;
   // Degrade-deadline timer (armed only when degrade_deadline > 0).
   EventHandle deadline_event;
   // Set when the deadline closed the fan-out at partial coverage: late chunk
@@ -38,11 +41,6 @@ struct IndexServer::QueryState {
   bool fanout_closed = false;
   bool degraded = false;
   int chunks_served_at_close = 0;
-  // Armed hedge timer per chunk; cancelled the moment the chunk completes
-  // (or the query reaches a terminal state), so hedge timers for fast
-  // lookups — the overwhelming majority — leave the event queue instead of
-  // firing as dead no-ops holding the query state alive.
-  std::vector<EventHandle> hedge_events;
   int snippet_reads_left = 0;
   bool finished = false;
   uint64_t trace_ctx = 0;
@@ -119,7 +117,11 @@ void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
     return;
   }
   ++inflight_;
-  auto q = std::make_shared<QueryState>(live_query_states_);
+  // allocate_shared + the arena allocator puts the state and its control
+  // block in one recycled block: the steady-state query path performs no
+  // heap allocation for query state.
+  auto q = std::allocate_shared<QueryState>(ArenaAllocator<QueryState>(query_arena_),
+                                            live_query_states_, chunk_pool_);
   q->work = work;
   q->done = std::move(done);
   // Mix in the server identity: each machine holds a different index
@@ -134,12 +136,11 @@ void IndexServer::SubmitQuery(const QueryWork& work, QueryDoneFn done) {
     q->owns_trace = true;
   }
   q->chunks_left = work.fanout;
-  q->chunk_done.assign(static_cast<size_t>(work.fanout), false);
-  q->chunk_hedged.assign(static_cast<size_t>(work.fanout), false);
-  q->hedge_events.assign(static_cast<size_t>(work.fanout), EventHandle{});
+  q->chunks = chunk_pool_->Get(static_cast<size_t>(work.fanout));
   if (config_.chunk_retry.enabled) {
-    q->chunk_attempts.assign(static_cast<size_t>(work.fanout), 1);
-    q->retry_events.assign(static_cast<size_t>(work.fanout), EventHandle{});
+    for (ChunkSlot& slot : q->chunks) {
+      slot.attempts = 1;
+    }
   }
   q->live_key = next_live_key_++;
   live_queries_.emplace(q->live_key, q);
@@ -183,14 +184,14 @@ bool IndexServer::ExpireIfOverdue(const std::shared_ptr<QueryState>& q) {
 }
 
 void IndexServer::CancelHedges(const std::shared_ptr<QueryState>& q) {
-  for (EventHandle& hedge : q->hedge_events) {
-    machine_->sim()->CancelOwned(hedge);
+  for (ChunkSlot& slot : q->chunks) {
+    machine_->sim()->CancelOwned(slot.hedge_event);
   }
 }
 
 void IndexServer::CancelRetries(const std::shared_ptr<QueryState>& q) {
-  for (EventHandle& pending : q->retry_events) {
-    machine_->sim()->CancelOwned(pending);
+  for (ChunkSlot& slot : q->chunks) {
+    machine_->sim()->CancelOwned(slot.retry_event);
   }
 }
 
@@ -299,17 +300,17 @@ void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bo
   // hedge_delay, launch a duplicate lookup and take whichever finishes first.
   // The hedge budget caps the added load under systemic slowness.
   if (!is_hedge && config_.hedging_enabled) {
-    q->hedge_events[static_cast<size_t>(chunk)] =
+    q->chunks[static_cast<size_t>(chunk)].hedge_event =
         machine_->sim()->ScheduleAfter(config_.hedge_delay, [this, q, chunk] {
+          ChunkSlot& slot = q->chunks[static_cast<size_t>(chunk)];
           // The timer just fired; clear the stored handle so a later
           // ChunkDone/CancelHedges pass cannot poke at the recycled slot.
-          q->hedge_events[static_cast<size_t>(chunk)] = EventHandle();
+          slot.hedge_event = EventHandle();
           const bool budget_ok =
               static_cast<double>(stats_.hedges_issued) <
               config_.hedge_budget_fraction * static_cast<double>(chunks_started_);
-          if (!q->finished && !q->chunk_done[static_cast<size_t>(chunk)] &&
-              !q->chunk_hedged[static_cast<size_t>(chunk)] && budget_ok) {
-            q->chunk_hedged[static_cast<size_t>(chunk)] = true;
+          if (!q->finished && !slot.done && !slot.hedged && budget_ok) {
+            slot.hedged = true;
             ++stats_.hedges_issued;
             if (tracer_ != nullptr) {
               tracer_->Instant("hedge.issued", track_, machine_->sim()->Now());
@@ -321,17 +322,16 @@ void IndexServer::StartChunk(const std::shared_ptr<QueryState>& q, int chunk, bo
 }
 
 void IndexServer::ChunkDone(const std::shared_ptr<QueryState>& q, int chunk) {
-  if (q->finished || q->fanout_closed || q->chunk_done[static_cast<size_t>(chunk)]) {
+  ChunkSlot& slot = q->chunks[static_cast<size_t>(chunk)];
+  if (q->finished || q->fanout_closed || slot.done) {
     return;  // expired, degraded, or the other copy of a hedged lookup finished
   }
-  q->chunk_done[static_cast<size_t>(chunk)] = true;
+  slot.done = true;
   // The lookup beat its hedge timer (the common case): pull the timer out of
   // the event queue instead of letting it fire as a dead no-op, and drop the
   // handle so the eventual CancelHedges sweep doesn't cancel it twice.
-  machine_->sim()->CancelOwned(q->hedge_events[static_cast<size_t>(chunk)]);
-  if (!q->retry_events.empty()) {
-    machine_->sim()->CancelOwned(q->retry_events[static_cast<size_t>(chunk)]);
-  }
+  machine_->sim()->CancelOwned(slot.hedge_event);
+  machine_->sim()->CancelOwned(slot.retry_event);
   if (--q->chunks_left == 0) {
     machine_->sim()->CancelOwned(q->deadline_event);
     StartRank(q);
@@ -339,20 +339,21 @@ void IndexServer::ChunkDone(const std::shared_ptr<QueryState>& q, int chunk) {
 }
 
 void IndexServer::ArmRetryTimer(const std::shared_ptr<QueryState>& q, int chunk) {
-  q->retry_events[static_cast<size_t>(chunk)] =
+  q->chunks[static_cast<size_t>(chunk)].retry_event =
       machine_->sim()->ScheduleAfter(config_.chunk_retry.timeout, [this, q, chunk] {
-        q->retry_events[static_cast<size_t>(chunk)] = EventHandle();
+        q->chunks[static_cast<size_t>(chunk)].retry_event = EventHandle();
         OnChunkTimeout(q, chunk);
       });
 }
 
 void IndexServer::OnChunkTimeout(const std::shared_ptr<QueryState>& q, int chunk) {
-  if (q->finished || q->fanout_closed || q->chunk_done[static_cast<size_t>(chunk)]) {
+  ChunkSlot& slot = q->chunks[static_cast<size_t>(chunk)];
+  if (q->finished || q->fanout_closed || slot.done) {
     return;
   }
   ++stats_.timeouts_detected;
   const RetryPolicy& policy = config_.chunk_retry;
-  const int attempts = q->chunk_attempts[static_cast<size_t>(chunk)];
+  const int attempts = slot.attempts;
   if (attempts >= policy.max_attempts) {
     ++stats_.retry_exhausted;
     return;  // budget spent; the degrade deadline / client timeout take over
@@ -364,14 +365,15 @@ void IndexServer::OnChunkTimeout(const std::shared_ptr<QueryState>& q, int chunk
     ++stats_.retries_suppressed_deadline;
     return;
   }
-  q->retry_events[static_cast<size_t>(chunk)] =
+  slot.retry_event =
       machine_->sim()->ScheduleAfter(delay, [this, q, chunk] {
-        q->retry_events[static_cast<size_t>(chunk)] = EventHandle();
-        if (q->finished || q->fanout_closed || q->chunk_done[static_cast<size_t>(chunk)]) {
+        ChunkSlot& fired = q->chunks[static_cast<size_t>(chunk)];
+        fired.retry_event = EventHandle();
+        if (q->finished || q->fanout_closed || fired.done) {
           return;
         }
         ++stats_.retries_issued;
-        ++q->chunk_attempts[static_cast<size_t>(chunk)];
+        ++fired.attempts;
         if (tracer_ != nullptr) {
           tracer_->Instant("chunk.retry", track_, machine_->sim()->Now());
         }

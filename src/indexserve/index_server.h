@@ -36,6 +36,7 @@
 #include "src/fault/retry.h"
 #include "src/sim/machine.h"
 #include "src/sim/simulator.h"
+#include "src/util/arena.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/workload/query_trace.h"
@@ -204,12 +205,38 @@ class IndexServer {
   // (including in-flight I/O) have fired, this must return to zero — a stored
   // callback capturing the state's own shared_ptr would keep it nonzero.
   int64_t live_query_states() const { return *live_query_states_; }
+  // Arena behind QueryState allocation. Test hook: after warm-up, slab_allocs
+  // stops growing — the steady-state query path recycles instead of mallocing.
+  const SlabArena::Stats& query_arena_stats() const { return query_arena_->stats(); }
   JobId job() const { return job_; }
   SimMachine* machine() const { return machine_; }
   const IndexServeConfig& config() const { return config_; }
 
  private:
   struct QueryState;
+
+  // Per-chunk fan-out state: completion/hedge flags, attempt count, and the
+  // armed retry/hedge timers, one slot per chunk. A query's slots live in one
+  // vector recycled through chunk_pool_, so the steady-state query path does
+  // no per-chunk vector allocation.
+  struct ChunkSlot {
+    // Armed per-attempt timeout (or pending backoff wait); cancelled when the
+    // chunk completes or the query reaches a terminal state. Lifecycle owner:
+    // IndexServer::DetachTerminal cancels every slot timer on each terminal
+    // transition, so the slots themselves stay trivially destructible (they
+    // are pooled and recycled across queries).
+    EventHandle retry_event;  // NOLINT(perfiso-LIFE-001)
+    // Armed hedge timer; cancelled the moment the chunk completes (or the
+    // query reaches a terminal state), so hedge timers for fast lookups — the
+    // overwhelming majority — leave the event queue instead of firing as dead
+    // no-ops holding the query state alive.
+    EventHandle hedge_event;  // NOLINT(perfiso-LIFE-001)
+    // Attempts issued (original + retries, hedges excluded); meaningful only
+    // when the retry policy is enabled.
+    uint8_t attempts = 0;
+    bool done = false;
+    bool hedged = false;
+  };
 
   // Abandons the query if it is past its deadline; returns true if the query
   // is no longer live (expired now or earlier).
@@ -268,6 +295,16 @@ class IndexServer {
   // Shared with each QueryState, which decrements it on destruction; outlives
   // the server if states do (which is itself the bug the counter detects).
   std::shared_ptr<int64_t> live_query_states_ = std::make_shared<int64_t>(0);
+  // Recyclers for the per-query hot-path state: QueryState objects (together
+  // with their shared_ptr control blocks, via std::allocate_shared) come from
+  // the arena, and per-chunk slot vectors keep their heap capacity across
+  // queries. Both are held by shared_ptr because a state can outlive the
+  // server (a completion delivered after teardown): the allocator copy inside
+  // each control block and the pool pointer inside each state keep the
+  // recyclers alive until the last block is returned.
+  std::shared_ptr<SlabArena> query_arena_ = std::make_shared<SlabArena>();
+  std::shared_ptr<VectorPool<ChunkSlot>> chunk_pool_ =
+      std::make_shared<VectorPool<ChunkSlot>>();
 };
 
 }  // namespace perfiso

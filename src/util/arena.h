@@ -1,0 +1,226 @@
+// Slab-backed block recycling for fixed-shape hot-path state.
+//
+// SlabArena hands out fixed-size blocks carved from slabs and recycles them
+// through per-size free lists, so a steady-state allocate/free churn (one
+// QueryState per query, one control block per shared_ptr) touches the real
+// heap only while the arena warms up. It is deliberately NOT a general
+// allocator:
+//   * blocks are bucketed by exact (rounded) size — the expected use is a
+//     couple of distinct shapes per arena, so the bucket scan is a short
+//     linear walk;
+//   * nothing is ever returned to the OS until the arena dies — freed blocks
+//     park on their bucket's free list;
+//   * single-threaded by design, like everything else in the simulation.
+//
+// ArenaAllocator<T> adapts an arena to the std allocator interface so
+// std::allocate_shared can place an object and its control block in one
+// recycled arena block. The allocator holds the arena by shared_ptr, and
+// std::allocate_shared stores a copy of the allocator inside the control
+// block itself — so a state object that outlives the arena's owner (a query
+// completion delivered after its server was torn down) keeps the arena alive
+// exactly as long as any block is outstanding. This is the lifetime that made
+// the historical "snippet chain" shared_ptr-cycle leak dangerous; the
+// allocator shape makes it impossible to get wrong at a call site.
+#ifndef PERFISO_SRC_UTIL_ARENA_H_
+#define PERFISO_SRC_UTIL_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace perfiso {
+
+class SlabArena {
+ public:
+  struct Stats {
+    uint64_t slab_allocs = 0;     // heap hits: slabs carved into blocks
+    uint64_t oversize_allocs = 0; // heap hits: over-aligned or huge requests
+    uint64_t block_reuses = 0;    // allocations served from a free list
+  };
+
+  explicit SlabArena(size_t blocks_per_slab = 64) : blocks_per_slab_(blocks_per_slab) {
+    assert(blocks_per_slab_ > 0);
+  }
+
+  ~SlabArena() {
+    for (auto& oversize : oversize_blocks_) {
+      ::operator delete(oversize.ptr, std::align_val_t(oversize.align));
+    }
+  }
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  void* Alloc(size_t bytes, size_t align) {
+    if (align > alignof(std::max_align_t) || bytes > kMaxBlockBytes) {
+      // Rare shape; serve it straight from the heap but keep ownership here
+      // so Free() stays uniform.
+      ++stats_.oversize_allocs;
+      void* p = ::operator new(bytes, std::align_val_t(align));
+      oversize_blocks_.push_back(Oversize{p, align});
+      return p;
+    }
+    Bucket& bucket = BucketFor(RoundUp(bytes));
+    if (bucket.free_blocks.empty()) {
+      Refill(bucket);
+    } else {
+      ++stats_.block_reuses;
+    }
+    void* p = bucket.free_blocks.back();
+    bucket.free_blocks.pop_back();
+    return p;
+  }
+
+  void Free(void* p, size_t bytes, size_t align) {
+    if (p == nullptr) {
+      return;
+    }
+    if (align > alignof(std::max_align_t) || bytes > kMaxBlockBytes) {
+      for (size_t i = 0; i < oversize_blocks_.size(); ++i) {
+        if (oversize_blocks_[i].ptr == p) {
+          ::operator delete(p, std::align_val_t(oversize_blocks_[i].align));
+          oversize_blocks_[i] = oversize_blocks_.back();
+          oversize_blocks_.pop_back();
+          return;
+        }
+      }
+      assert(false && "oversize free of a pointer this arena never produced");
+      return;
+    }
+    BucketFor(RoundUp(bytes)).free_blocks.push_back(p);
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Every block is a multiple of the strictest fundamental alignment, so any
+  // block satisfies any fundamental-aligned request of its size class.
+  static constexpr size_t kBlockQuantum = alignof(std::max_align_t);
+  // Past this, slab batching buys nothing; go to the heap per request.
+  static constexpr size_t kMaxBlockBytes = 64 * 1024;
+
+  struct Bucket {
+    size_t bytes = 0;
+    std::vector<void*> free_blocks;
+  };
+  struct Oversize {
+    void* ptr;
+    size_t align;
+  };
+
+  static size_t RoundUp(size_t bytes) {
+    return ((bytes == 0 ? 1 : bytes) + kBlockQuantum - 1) / kBlockQuantum * kBlockQuantum;
+  }
+
+  Bucket& BucketFor(size_t rounded_bytes) {
+    for (Bucket& bucket : buckets_) {
+      if (bucket.bytes == rounded_bytes) {
+        return bucket;
+      }
+    }
+    buckets_.push_back(Bucket{rounded_bytes, {}});
+    return buckets_.back();
+  }
+
+  void Refill(Bucket& bucket) {
+    ++stats_.slab_allocs;
+    // operator new[] guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__, which is at
+    // least alignof(std::max_align_t); quantum-multiple offsets keep it.
+    slabs_.push_back(std::make_unique<std::byte[]>(bucket.bytes * blocks_per_slab_));
+    std::byte* base = slabs_.back().get();
+    bucket.free_blocks.reserve(bucket.free_blocks.size() + blocks_per_slab_);
+    // Push in reverse so blocks hand out in ascending address order.
+    for (size_t i = blocks_per_slab_; i > 0; --i) {
+      bucket.free_blocks.push_back(base + (i - 1) * bucket.bytes);
+    }
+  }
+
+  size_t blocks_per_slab_;
+  Stats stats_;
+  std::vector<Bucket> buckets_;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::vector<Oversize> oversize_blocks_;
+};
+
+// std-allocator adapter over a shared SlabArena. Copies (including the one
+// std::allocate_shared embeds in the control block) share the arena and keep
+// it alive.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(std::shared_ptr<SlabArena> arena) : arena_(std::move(arena)) {
+    assert(arena_ != nullptr);
+  }
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) { return static_cast<T*>(arena_->Alloc(n * sizeof(T), alignof(T))); }
+  void deallocate(T* p, size_t n) { arena_->Free(p, n * sizeof(T), alignof(T)); }
+
+  const std::shared_ptr<SlabArena>& arena() const { return arena_; }
+
+ private:
+  std::shared_ptr<SlabArena> arena_;
+};
+
+template <typename T, typename U>
+bool operator==(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) {
+  return a.arena() == b.arena();
+}
+template <typename T, typename U>
+bool operator!=(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) {
+  return !(a == b);
+}
+
+// Recycles whole vectors, preserving their heap capacity across uses — the
+// companion to SlabArena for state whose size varies per use (per-chunk slots
+// sized by query fanout). Get() hands back a cleared vector resized to n;
+// Put() parks the carcass for the next Get().
+template <typename T>
+class VectorPool {
+ public:
+  struct Stats {
+    uint64_t reuses = 0;
+    uint64_t fresh = 0;
+  };
+
+  std::vector<T> Get(size_t n) {
+    std::vector<T> v;
+    if (!parked_.empty()) {
+      v = std::move(parked_.back());
+      parked_.pop_back();
+      ++stats_.reuses;
+    } else {
+      ++stats_.fresh;
+    }
+    v.clear();
+    v.resize(n);
+    return v;
+  }
+
+  void Put(std::vector<T>&& v) {
+    if (parked_.size() < kMaxParked) {
+      parked_.push_back(std::move(v));
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Bounds pool growth under a burst; beyond this, carcasses just die.
+  static constexpr size_t kMaxParked = 1024;
+
+  Stats stats_;
+  std::vector<std::vector<T>> parked_;
+};
+
+}  // namespace perfiso
+
+#endif  // PERFISO_SRC_UTIL_ARENA_H_

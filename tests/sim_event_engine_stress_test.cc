@@ -7,6 +7,7 @@
 // reschedules).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <map>
 #include <utility>
@@ -103,6 +104,173 @@ TEST_P(EngineVsReferenceTest, RandomOpsMatchReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineVsReferenceTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// --- Timing-wheel edge cases -------------------------------------------------
+//
+// Deterministic probes of the two-band scheduler's geometry: level pages
+// cover absolute-time bits [0,12), [12,18), [18,24); the wheel horizon is
+// 2^24 ns, past which events live in the overflow heap. The constants are
+// private to the engine, so these tests pin behavior (fire times, order,
+// overflow residency) at the boundaries rather than peeking at internals.
+
+constexpr SimTime kL0Page = SimTime{1} << 12;
+constexpr SimTime kL1Page = SimTime{1} << 18;
+constexpr SimTime kHorizon = SimTime{1} << 24;
+
+TEST(WheelEdgeCaseTest, SlotAndPageBoundaryEventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  // One event on each side of every geometry boundary: level-0 slot (1 ns),
+  // level-0 page, level-1 page, and the horizon itself.
+  std::vector<SimTime> times;
+  for (SimTime boundary : {SimTime{1}, kL0Page, kL1Page, kHorizon}) {
+    times.push_back(boundary - 1);
+    times.push_back(boundary);
+    times.push_back(boundary + 1);
+  }
+  // Schedule in reversed order so bucket order cannot accidentally match.
+  for (auto it = times.rbegin(); it != times.rend(); ++it) {
+    const SimTime t = *it;
+    sim.Schedule(t, [&fired, t, &sim] {
+      EXPECT_EQ(sim.Now(), t);
+      fired.push_back(t);
+    });
+  }
+  sim.CheckEngineInvariants();
+  sim.RunUntilEmpty();
+  std::sort(times.begin(), times.end());
+  EXPECT_EQ(fired, times);
+  sim.CheckEngineInvariants();
+}
+
+TEST(WheelEdgeCaseTest, OverflowResidentsCascadeThroughLevelsToExactTimes) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  // Far-band events several horizon pages out, at offsets that exercise every
+  // level on the way down (page base, mid-level-1, mid-level-0, odd ns).
+  std::vector<SimTime> times;
+  for (uint64_t page : {1u, 2u, 5u}) {
+    for (SimTime offset : {SimTime{0}, kL1Page + 3, kL0Page + 9, SimTime{4097}}) {
+      times.push_back(static_cast<SimTime>(page) * kHorizon + offset);
+    }
+  }
+  for (auto it = times.rbegin(); it != times.rend(); ++it) {
+    const SimTime t = *it;
+    sim.Schedule(t, [&fired, t, &sim] {
+      EXPECT_EQ(sim.Now(), t);
+      fired.push_back(t);
+    });
+  }
+  EXPECT_EQ(sim.OverflowEvents(), times.size());  // all beyond the horizon
+  sim.CheckEngineInvariants();
+  sim.RunUntilEmpty();
+  std::sort(times.begin(), times.end());
+  EXPECT_EQ(fired, times);
+  EXPECT_EQ(sim.OverflowEvents(), 0u);
+  EXPECT_GT(sim.stats().overflow_pulls, 0u);
+  EXPECT_GT(sim.stats().wheel_cascades, 0u);
+}
+
+TEST(WheelEdgeCaseTest, CancelRemovesWheelAndOverflowResidentsEagerly) {
+  Simulator sim;
+  int fired = 0;
+  // One resident per band: level 0, level 1, level 2, overflow.
+  const EventHandle l0 = sim.Schedule(100, [&fired] { ++fired; });
+  const EventHandle l1 = sim.Schedule(2 * kL0Page, [&fired] { ++fired; });
+  const EventHandle l2 = sim.Schedule(2 * kL1Page, [&fired] { ++fired; });
+  const EventHandle far = sim.Schedule(2 * kHorizon, [&fired] { ++fired; });
+  EXPECT_EQ(sim.PendingEvents(), 4u);
+  EXPECT_EQ(sim.OverflowEvents(), 1u);
+  EXPECT_TRUE(sim.Cancel(l1));
+  EXPECT_TRUE(sim.Cancel(far));  // overflow resident leaves the heap eagerly
+  EXPECT_EQ(sim.OverflowEvents(), 0u);
+  sim.CheckEngineInvariants();
+  EXPECT_TRUE(sim.Cancel(l0));
+  EXPECT_TRUE(sim.Cancel(l2));
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.stats().events_cancelled, 4u);
+}
+
+TEST(WheelEdgeCaseTest, RescheduleMovesRecordsBetweenBands) {
+  Simulator sim;
+  std::vector<int> fired;
+  // Wheel -> overflow -> wheel round trip on one handle.
+  const EventHandle moved = sim.Schedule(500, [&fired] { fired.push_back(0); });
+  EXPECT_EQ(sim.OverflowEvents(), 0u);
+  EXPECT_TRUE(sim.Reschedule(moved, 3 * kHorizon));
+  EXPECT_EQ(sim.OverflowEvents(), 1u);
+  sim.CheckEngineInvariants();
+  EXPECT_TRUE(sim.Reschedule(moved, 700));
+  EXPECT_EQ(sim.OverflowEvents(), 0u);
+  // A same-time rival scheduled before the final move: the move is a fresh
+  // scheduling decision, so the rival (older seq) fires first.
+  sim.Schedule(700, [&fired] { fired.push_back(1); });
+  EXPECT_TRUE(sim.Reschedule(moved, 700));
+  sim.CheckEngineInvariants();
+  sim.RunUntilEmpty();
+  EXPECT_EQ(fired, (std::vector<int>{1, 0}));
+}
+
+TEST(WheelEdgeCaseTest, SameTimeEventsKeepScheduleOrderAcrossBatchDrain) {
+  Simulator sim;
+  std::vector<int> fired;
+  const SimTime when = 4096;  // one level-0 slot == one timestamp
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(sim.Schedule(when, [&fired, i] { fired.push_back(i); }));
+  }
+  // Mid-batch mutations, exercised via the first callback: cancelling a
+  // not-yet-fired batch resident must suppress it; rescheduling one to the
+  // same timestamp re-orders it to the back (fresh seq).
+  sim.Schedule(when - 1, [&] {
+    EXPECT_TRUE(sim.Cancel(handles[3]));
+    EXPECT_TRUE(sim.Reschedule(handles[1], when));
+    // A brand-new same-time event scheduled while the prior slot drains
+    // still fires behind everything already queued at `when`.
+    sim.Schedule(when, [&fired] { fired.push_back(100); });
+  });
+  sim.RunUntilEmpty();
+  EXPECT_EQ(fired, (std::vector<int>{0, 2, 4, 5, 6, 7, 1, 100}));
+  EXPECT_EQ(sim.stats().events_cancelled, 1u);
+}
+
+TEST(WheelEdgeCaseTest, CallbackCancelOfALaterBatchResidentSuppressesIt) {
+  Simulator sim;
+  std::vector<int> fired;
+  EventHandle second;
+  sim.Schedule(1000, [&] {
+    fired.push_back(0);
+    EXPECT_TRUE(sim.Cancel(second));  // drained into the same batch, not yet fired
+  });
+  second = sim.Schedule(1000, [&fired] { fired.push_back(1); });
+  sim.RunUntilEmpty();
+  EXPECT_EQ(fired, (std::vector<int>{0}));
+}
+
+TEST(WheelEdgeCaseTest, ClockNearTopLevelHorizonCrossesPagesCleanly) {
+  Simulator sim;
+  // Drive the clock to just shy of a high horizon-page boundary with an
+  // empty wheel, then straddle the boundary with events on both sides.
+  const SimTime base = 41 * kHorizon;
+  sim.RunUntil(base - 2);
+  EXPECT_EQ(sim.Now(), base - 2);
+  std::vector<SimTime> fired;
+  for (const SimTime t : {base + 1, base, base - 1, base + kHorizon}) {
+    sim.Schedule(t, [&fired, t] { fired.push_back(t); });
+  }
+  // Pages are aligned to absolute-time bits, not sliding windows: base is 1 ns
+  // away from Now() but already in the next horizon page, so it and everything
+  // after it live in the far band until the clock crosses the boundary.
+  EXPECT_EQ(sim.OverflowEvents(), 3u);
+  sim.CheckEngineInvariants();
+  sim.RunUntil(base);
+  EXPECT_EQ(fired, (std::vector<SimTime>{base - 1, base}));
+  sim.RunUntilEmpty();
+  EXPECT_EQ(fired, (std::vector<SimTime>{base - 1, base, base + 1, base + kHorizon}));
+  sim.CheckEngineInvariants();
+}
 
 // --- Machine churn on top of the engine --------------------------------------
 

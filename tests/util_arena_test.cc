@@ -1,0 +1,159 @@
+#include "src/util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace perfiso {
+namespace {
+
+TEST(SlabArenaTest, RecyclesBlocksOfTheSameSizeClass) {
+  SlabArena arena(/*blocks_per_slab=*/4);
+  void* a = arena.Alloc(48, 8);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(arena.stats().slab_allocs, 1u);
+  arena.Free(a, 48, 8);
+  void* b = arena.Alloc(48, 8);
+  EXPECT_EQ(b, a);  // LIFO free list hands the same block back
+  EXPECT_EQ(arena.stats().slab_allocs, 1u);
+  EXPECT_EQ(arena.stats().block_reuses, 1u);
+  arena.Free(b, 48, 8);
+}
+
+TEST(SlabArenaTest, SlabGrowthIsAmortized) {
+  SlabArena arena(/*blocks_per_slab=*/8);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 8; ++i) {
+    blocks.push_back(arena.Alloc(32, 8));
+  }
+  EXPECT_EQ(arena.stats().slab_allocs, 1u);  // one slab covers all eight
+  blocks.push_back(arena.Alloc(32, 8));
+  EXPECT_EQ(arena.stats().slab_allocs, 2u);  // ninth block forces growth
+  for (void* p : blocks) {
+    arena.Free(p, 32, 8);
+  }
+  // The warmed-up arena never touches the heap again for this shape.
+  for (int i = 0; i < 64; ++i) {
+    void* p = arena.Alloc(32, 8);
+    arena.Free(p, 32, 8);
+  }
+  EXPECT_EQ(arena.stats().slab_allocs, 2u);
+}
+
+TEST(SlabArenaTest, DistinctSizeClassesDoNotAlias) {
+  SlabArena arena(/*blocks_per_slab=*/2);
+  void* small = arena.Alloc(16, 8);
+  void* large = arena.Alloc(200, 8);
+  EXPECT_NE(small, large);
+  arena.Free(small, 16, 8);
+  // A large request must not be served from the small bucket's free list.
+  void* large2 = arena.Alloc(200, 8);
+  EXPECT_NE(large2, small);
+  arena.Free(large, 200, 8);
+  arena.Free(large2, 200, 8);
+}
+
+TEST(SlabArenaTest, BlocksSatisfyFundamentalAlignment) {
+  SlabArena arena;
+  for (size_t bytes : {1u, 7u, 24u, 100u}) {
+    void* p = arena.Alloc(bytes, alignof(std::max_align_t));
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(std::max_align_t), 0u);
+    arena.Free(p, bytes, alignof(std::max_align_t));
+  }
+}
+
+TEST(SlabArenaTest, OversizeRequestsFallBackToTheHeap) {
+  SlabArena arena;
+  void* huge = arena.Alloc(1 << 20, 8);  // > kMaxBlockBytes
+  ASSERT_NE(huge, nullptr);
+  EXPECT_EQ(arena.stats().oversize_allocs, 1u);
+  EXPECT_EQ(arena.stats().slab_allocs, 0u);
+  arena.Free(huge, 1 << 20, 8);
+  // Over-aligned requests take the same path.
+  void* aligned = arena.Alloc(64, 2 * alignof(std::max_align_t));
+  ASSERT_NE(aligned, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(aligned) % (2 * alignof(std::max_align_t)), 0u);
+  EXPECT_EQ(arena.stats().oversize_allocs, 2u);
+  arena.Free(aligned, 64, 2 * alignof(std::max_align_t));
+}
+
+TEST(SlabArenaTest, UnfreedOversizeBlocksAreReleasedByTheDestructor) {
+  // Covered by ASan: the arena owns the oversize block and must delete it.
+  SlabArena arena;
+  (void)arena.Alloc(1 << 20, 8);
+}
+
+struct Tracked {
+  explicit Tracked(int* live) : live_counter(live) { ++*live_counter; }
+  ~Tracked() { --*live_counter; }
+  int* live_counter;
+  uint64_t payload[4] = {};
+};
+
+TEST(ArenaAllocatorTest, AllocateSharedPlacesObjectAndControlBlockInOneBlock) {
+  auto arena = std::make_shared<SlabArena>();
+  int live = 0;
+  {
+    auto obj = std::allocate_shared<Tracked>(ArenaAllocator<Tracked>(arena), &live);
+    EXPECT_EQ(live, 1);
+    // One combined allocation: the arena saw exactly one block request.
+    EXPECT_EQ(arena->stats().slab_allocs + arena->stats().oversize_allocs, 1u);
+  }
+  EXPECT_EQ(live, 0);
+  // The block came back: the next same-shape object reuses it.
+  auto obj2 = std::allocate_shared<Tracked>(ArenaAllocator<Tracked>(arena), &live);
+  EXPECT_GE(arena->stats().block_reuses, 1u);
+}
+
+TEST(ArenaAllocatorTest, ObjectKeepsArenaAliveAfterOwnerDropsIt) {
+  // The control block stores a copy of the allocator (which holds the arena
+  // by shared_ptr), so releasing the test's reference must not free the
+  // arena while the object is alive — the regression shape is a query
+  // completion delivered after its server died.
+  int live = 0;
+  std::shared_ptr<Tracked> survivor;
+  {
+    auto arena = std::make_shared<SlabArena>();
+    survivor = std::allocate_shared<Tracked>(ArenaAllocator<Tracked>(arena), &live);
+  }
+  EXPECT_EQ(live, 1);
+  EXPECT_EQ(survivor->payload[0], 0u);  // block is still valid memory
+  survivor.reset();                     // destroys the object, then the arena
+  EXPECT_EQ(live, 0);
+}
+
+TEST(ArenaAllocatorTest, ComparesEqualOnlyForTheSameArena) {
+  auto a = std::make_shared<SlabArena>();
+  auto b = std::make_shared<SlabArena>();
+  EXPECT_TRUE(ArenaAllocator<int>(a) == ArenaAllocator<long>(a));
+  EXPECT_TRUE(ArenaAllocator<int>(a) != ArenaAllocator<int>(b));
+}
+
+TEST(VectorPoolTest, ReusesCarcassesAndKeepsCapacity) {
+  VectorPool<int> pool;
+  std::vector<int> v = pool.Get(100);
+  EXPECT_EQ(v.size(), 100u);
+  const size_t cap = v.capacity();
+  v[99] = 7;
+  pool.Put(std::move(v));
+  std::vector<int> w = pool.Get(10);
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_GE(w.capacity(), cap);  // the parked carcass kept its heap buffer
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.stats().fresh, 1u);
+}
+
+TEST(VectorPoolTest, GetClearsRecycledContents) {
+  VectorPool<int> pool;
+  std::vector<int> v = pool.Get(4);
+  v.assign({1, 2, 3, 4});
+  pool.Put(std::move(v));
+  std::vector<int> w = pool.Get(4);
+  EXPECT_EQ(w, std::vector<int>({0, 0, 0, 0}));  // value-initialized, not stale
+}
+
+}  // namespace
+}  // namespace perfiso

@@ -650,6 +650,110 @@ std::vector<Finding> LintSource(const std::string& path, const std::string& cont
     }
   }
 
+  // PERF-001 pass: re-arming a held handle inside a loop body. The shape
+  //
+  //   handle = sim->Schedule(...);       // or ScheduleAfter
+  //
+  // in a loop allocates, links, and (next trip) orphans a fresh event record
+  // per iteration, when Reschedule(handle, when) relinks the already-armed
+  // record in O(1) on the timing wheel — or ScheduleOrTighten when the
+  // handle may be stale. Only a *bare* identifier target is flagged:
+  // `slots[i] = ...` and `obj.h = ...` arm one event per distinct owner, and
+  // `auto h = ...` declares a fresh handle. Lambda bodies reset the loop
+  // context (a callback defined inside a loop does not *run* per iteration),
+  // as does any other non-control brace (class, function, initializer).
+  if (sim_visible) {
+    static const std::set<std::string> kControlBraces = {
+        "for", "while", "do", "if", "else", "switch", "case", "default", "try", "catch",
+    };
+    int loop_depth = 0;
+    int paren = 0;
+    std::vector<std::pair<int, int>> saved;  // per '{': (loop_depth, paren)
+    std::vector<const Token*> stmt;
+    const auto inspect = [&](std::vector<const Token*> span) {
+      bool in_loop = loop_depth > 0;
+      // Peel control headers off the front: a peeled for/while/do makes the
+      // remainder a (braceless) loop body even outside any braced loop.
+      while (!span.empty()) {
+        const std::string& head = span[0]->text;
+        if ((head == "for" || head == "while" || head == "if") && span.size() > 1 &&
+            span[1]->text == "(") {
+          int depth = 0;
+          size_t j = 1;
+          for (; j < span.size(); ++j) {
+            if (span[j]->text == "(") {
+              ++depth;
+            } else if (span[j]->text == ")" && --depth == 0) {
+              ++j;
+              break;
+            }
+          }
+          if (depth != 0) {
+            return;  // header runs past the end of this fragment
+          }
+          in_loop = in_loop || head != "if";
+          span.erase(span.begin(), span.begin() + static_cast<std::ptrdiff_t>(j));
+        } else if (head == "else" || head == "do") {
+          in_loop = in_loop || head == "do";
+          span.erase(span.begin());
+        } else {
+          break;
+        }
+      }
+      if (!in_loop || span.size() < 4 || span[0]->kind != Token::Kind::kIdent ||
+          span[1]->text != "=" || span[2]->text == "=") {
+        return;  // not `bare_ident = ...` (the `==` probe: two '=' tokens)
+      }
+      for (size_t k = 2; k + 1 < span.size(); ++k) {
+        if (span[k]->kind == Token::Kind::kIdent &&
+            (span[k]->text == "Schedule" || span[k]->text == "ScheduleAfter") &&
+            span[k + 1]->text == "(") {
+          add(span[k]->line, "perfiso-PERF-001",
+              "'" + span[k]->text + "' re-arms '" + span[0]->text +
+                  "' every loop iteration — Reschedule(" + span[0]->text +
+                  ", when) relinks the pending event in O(1) instead of paying "
+                  "allocate + sift churn per trip (ScheduleOrTighten if the "
+                  "handle may be stale; suppress if each iteration truly needs "
+                  "a distinct event)");
+          return;
+        }
+      }
+    };
+    for (const Token& t : toks) {
+      if (t.kind == Token::Kind::kPunct && t.text == "(") {
+        ++paren;
+        stmt.push_back(&t);
+      } else if (t.kind == Token::Kind::kPunct && t.text == ")") {
+        paren = std::max(paren - 1, 0);
+        stmt.push_back(&t);
+      } else if (t.kind == Token::Kind::kPunct && t.text == ";" && paren == 0) {
+        inspect(stmt);
+        stmt.clear();
+      } else if (t.kind == Token::Kind::kPunct && t.text == "{") {
+        inspect(stmt);  // catches `h = Schedule(t, [cap] {` before the split
+        saved.emplace_back(loop_depth, paren);
+        if (!stmt.empty() && kControlBraces.count(stmt[0]->text) == 0) {
+          loop_depth = 0;  // lambda / class / function / init-list barrier
+        } else if (!stmt.empty() &&
+                   (stmt[0]->text == "for" || stmt[0]->text == "while" || stmt[0]->text == "do")) {
+          ++loop_depth;
+        }
+        paren = 0;
+        stmt.clear();
+      } else if (t.kind == Token::Kind::kPunct && t.text == "}") {
+        if (!saved.empty()) {
+          loop_depth = saved.back().first;
+          paren = saved.back().second;
+          saved.pop_back();
+        }
+        stmt.clear();
+      } else {
+        stmt.push_back(&t);
+      }
+    }
+    inspect(stmt);
+  }
+
   // LIFE-001 pass: class scopes, members, destructors / Cancel members.
   {
     std::vector<ClassScope> stack;

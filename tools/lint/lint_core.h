@@ -28,6 +28,15 @@
 //            header names a retry variable but carries no bound comparison.
 //            ScheduleOrTighten (resource-model bucket wakes) and range-for
 //            loops are exempt.
+//   PERF-001 hot-loop re-arm: `handle = Schedule(...)` / `ScheduleAfter(...)`
+//            assigning a bare identifier inside a loop body in
+//            simulation-visible code (src/, bench/) pays allocate + sift
+//            churn every iteration and orphans the previously armed event —
+//            Reschedule(handle, when) relinks the pending record in O(1) on
+//            the timing wheel (ScheduleOrTighten when the handle may be
+//            stale). Indexed / member targets (one event per distinct owner),
+//            declarations, and lambda bodies merely defined inside a loop
+//            are exempt.
 //   LIFE-001 EventHandle members in a class with no destructor and no
 //            Cancel* member: armed events can outlive their owner (heuristic,
 //            suppress when another object owns the lifecycle).

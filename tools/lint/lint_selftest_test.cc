@@ -139,6 +139,68 @@ TEST(LintSource, Flt001CaseInsensitiveIdentifiers) {
   EXPECT_EQ(findings[0].rule, "perfiso-FLT-001");
 }
 
+TEST(LintFixtures, Perf001FlagsLoopReArmsAndHonorsSuppression) {
+  const RL got = RuleLines(LintFixture("src/bad_rearm_loop.cc"));
+  const RL want = {
+      {"perfiso-PERF-001", 20},  // braced while body
+      {"perfiso-PERF-001", 27},  // braceless for body
+      {"perfiso-PERF-001", 33},  // conditional re-arm inside the loop
+  };
+  // Quiet by design: the NOLINTNEXTLINE fan-out, Reschedule, indexed and
+  // member targets, the lambda defined inside the loop, and the
+  // straight-line arm.
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintSource, Perf001BracelessAndDoWhileBodies) {
+  const auto braceless = LintSource(
+      "src/x.cc", "void F(S* s, H h) { while (s->Busy()) h = s->sim->Schedule(5, cb); }\n");
+  ASSERT_EQ(braceless.size(), 1u);
+  EXPECT_EQ(braceless[0].rule, "perfiso-PERF-001");
+  const auto do_while = LintSource(
+      "src/x.cc",
+      "void F(S* s, H h) { do h = s->sim->ScheduleAfter(5, cb); while (s->Busy()); }\n");
+  ASSERT_EQ(do_while.size(), 1u);
+  EXPECT_EQ(do_while[0].rule, "perfiso-PERF-001");
+}
+
+TEST(LintSource, Perf001LambdaArgumentSplitFlagsOnce) {
+  // The callback lambda's '{' splits the statement mid-call; the re-arm must
+  // still be seen, and seen exactly once.
+  const auto findings = LintSource(
+      "src/x.cc",
+      "void F(S* s, H h) { while (s->Busy()) { h = s->Schedule(5, [s] { s->Go(); }); } }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "perfiso-PERF-001");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintSource, Perf001LambdaDefinedInLoopIsNotALoopBody) {
+  // The lambda body runs per fire, not per iteration — no churn to flag.
+  const auto findings = LintSource(
+      "src/x.cc",
+      "void F(S* s, H h) { while (s->Busy()) { s->Defer([&] { h = s->Schedule(5, cb); }); } }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSource, Perf001OnlyBitesBareIdentifierTargetsInSimVisibleCode) {
+  const std::string indexed =
+      "void F(S* s) { for (int i = 0; i < 4; ++i) s->slots[i] = s->Schedule(5, cb); }\n";
+  EXPECT_TRUE(LintSource("src/x.cc", indexed).empty());
+  const std::string bare =
+      "void F(S* s, H h) { for (int i = 0; i < 4; ++i) h = s->Schedule(5, cb); }\n";
+  ASSERT_EQ(LintSource("src/x.cc", bare).size(), 1u);
+  EXPECT_TRUE(LintSource("tests/x.cc", bare).empty());
+}
+
+TEST(LintSource, Perf001StraightLineAndScheduleOrTightenAreClean) {
+  EXPECT_TRUE(LintSource(
+      "src/x.cc", "void F(S* s, H h) { if (s->Stale(h)) h = s->Schedule(5, cb); }\n").empty());
+  EXPECT_TRUE(LintSource(
+      "src/x.cc",
+      "void F(S* s, H h) { while (s->Busy()) { s->ScheduleOrTighten(h, 5, cb); } }\n").empty());
+}
+
 TEST(LintFixtures, Obs001FlagsNonLiteralMetricNames) {
   const RL got = RuleLines(LintFixture("src/bad_obs_name.cc"));
   const RL want = {

@@ -1,0 +1,79 @@
+// PERF-001 fixture: handle re-arms inside loop bodies, next to the
+// sanctioned shapes (Reschedule, indexed and member targets, lambda bodies
+// defined in loops, straight-line re-arms) that must stay quiet.
+#include "src/sim/simulator.h"
+
+namespace fixture {
+
+struct Rig {
+  perfiso::Simulator* sim;
+  perfiso::EventHandle deadline;
+  std::vector<perfiso::EventHandle> slots;
+  bool Busy() const;
+  void Tick();
+  ~Rig();
+};
+
+// Violation (a): braced loop body re-arming a bare handle each trip.
+void PumpDeadline(Rig* r, perfiso::EventHandle h) {
+  while (r->Busy()) {
+    h = r->sim->ScheduleAfter(100, [r] { r->Tick(); });
+  }
+}
+
+// Violation (b): braceless for body — header and body are one statement.
+void SweepDeadline(Rig* r, perfiso::EventHandle h) {
+  for (int i = 0; i < 8; ++i)
+    h = r->sim->Schedule(1000, [r] { r->Tick(); });
+}
+
+// Violation (c): a conditional re-arm inside the loop still churns.
+void LazyPump(Rig* r, perfiso::EventHandle h) {
+  while (r->Busy()) {
+    if (r->Busy()) h = r->sim->ScheduleAfter(50, [r] { r->Tick(); });
+  }
+}
+
+// Suppressed: each iteration intentionally arms a distinct one-shot.
+void FanOut(Rig* r, perfiso::EventHandle h) {
+  while (r->Busy()) {
+    // NOLINTNEXTLINE(perfiso-PERF-001) -- every trip arms a distinct event
+    h = r->sim->ScheduleAfter(10, [r] { r->Tick(); });
+  }
+}
+
+// Clean: Reschedule is the sanctioned loop re-arm.
+void Glide(Rig* r, perfiso::EventHandle h) {
+  while (r->Busy()) {
+    r->sim->Reschedule(h, 100);
+  }
+}
+
+// Clean: indexed target — one event per slot, not a re-arm.
+void ArmAll(Rig* r, std::vector<perfiso::EventHandle>& slots) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    slots[i] = r->sim->ScheduleAfter(10 + i, [r] { r->Tick(); });
+  }
+}
+
+// Clean: member target — each owner holds its own event.
+void ArmOwner(Rig* r) {
+  while (r->Busy()) {
+    r->deadline = r->sim->ScheduleAfter(10, [r] { r->Tick(); });
+  }
+}
+
+// Clean: the inner lambda is *defined* in the loop, but its body runs once
+// per fire, not once per iteration — no churn to flag.
+void Defer(Rig* r, perfiso::EventHandle h) {
+  while (r->Busy()) {
+    r->sim->Schedule(5, [r, &h] { h = r->sim->Schedule(9, [r] { r->Tick(); }); });
+  }
+}
+
+// Clean: a straight-line re-arm (no loop) is the normal arming idiom.
+void ArmOnce(Rig* r, perfiso::EventHandle h) {
+  if (r->Busy()) h = r->sim->ScheduleAfter(10, [r] { r->Tick(); });
+}
+
+}  // namespace fixture
