@@ -151,6 +151,46 @@ ClusterOptions MakeClusterOptions(const ScenarioSpec& scenario);
 // Aborts if PerfIso fails to start (mirrors RunSingleBox).
 void ApplyScenarioTenants(Cluster* cluster, const ScenarioSpec& scenario);
 
+// --- Partition-parallel cluster runner ----------------------------------------
+//
+// RunClusterScenario drives one cluster spec end to end. When the spec sets
+// sim_partitions >= 2 the cluster is sharded across that many simulator
+// partitions (src/sim/parallel.h) running in conservative lockstep windows of
+// width net.base_latency — the cross-partition latency floor, i.e. the PDES
+// lookahead. Results are a pure function of (spec, partition count):
+// bit-identical digests at any worker thread count (pinned by
+// tests/cluster_partition_determinism_test.cc). Specs that need features the
+// partitioned engine does not support — fault injection, tracing/obs, or a
+// non-positive latency floor — fall back to a sequential run with a warning
+// (fell_back_sequential below).
+
+// Worker threads for partitioned runs: PERFISO_SIM_THREADS when set
+// (1 = single-threaded lockstep), otherwise the hardware concurrency. Read
+// each call so determinism tests can flip it at runtime.
+int SimThreads();
+
+struct ClusterRunResult {
+  // Order-sensitive digests of the per-layer latency recorders — the
+  // partition-determinism anchors.
+  uint64_t leaf_digest = 0;
+  uint64_t mla_digest = 0;
+  uint64_t tla_digest = 0;
+  uint64_t flow_digest = 0;  // primary-class fabric flow latency
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t degraded = 0;
+  double tla_p99_ms = 0;
+  double tla_mean_ms = 0;
+  double mean_busy = 0;
+  int64_t faults_injected = 0;
+  uint64_t events_executed = 0;
+  int partitions_used = 1;  // 1 = sequential
+  int threads_used = 1;
+  bool fell_back_sequential = false;  // partitioning requested but unsupported
+};
+
+ClusterRunResult RunClusterScenario(const ScenarioSpec& scenario);
+
 // --- Parallel scenario runner ------------------------------------------------
 //
 // Scenario rows are embarrassingly parallel: each owns a fully isolated

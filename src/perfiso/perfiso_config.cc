@@ -289,18 +289,9 @@ Status PerfIsoConfig::Validate(int num_cores) const {
   if (io_window_polls <= 0) {
     return InvalidArgumentError("io_window_polls must be positive");
   }
-  if (net.link_rate_bps <= 0) {
-    return InvalidArgumentError("net.link_rate_bps must be positive");
-  }
-  if (net.uplink_oversubscription < 1.0) {
-    return InvalidArgumentError("net.uplink_oversubscription must be >= 1");
-  }
-  if (net.machines_per_rack <= 0) {
-    return InvalidArgumentError("net.machines_per_rack must be positive");
-  }
-  if (net.chunk_bytes <= 0) {
-    return InvalidArgumentError("net.chunk_bytes must be positive");
-  }
+  // The fabric validates its own tunables (including that base_latency is
+  // strictly positive — it doubles as the PDES lookahead).
+  PERFISO_RETURN_IF_ERROR(net.Validate());
   return OkStatus();
 }
 

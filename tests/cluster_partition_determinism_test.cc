@@ -1,0 +1,173 @@
+// Partition-determinism contract of the time-windowed PDES cluster runner
+// (bench::RunClusterScenario, DESIGN.md §10): a partitioned run's result is a
+// pure function of (scenario, partition count) — the worker thread count is
+// an execution detail. Every latency-recorder digest, query counter, and the
+// total event count must be bit-identical whether the lockstep windows run on
+// 1 thread or 8. Scenarios the partitioned engine does not support (fault
+// plans) must fall back to a sequential run that matches a plain
+// sim_partitions = 0 run exactly.
+//
+// Cross-partition cancel/reschedule of mailbox-delivered handles is pinned
+// separately, under SimSan engine validation, in tests/sim_parallel_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/sim/simulator.h"
+#include "src/workload/scenario.h"
+
+namespace perfiso {
+namespace {
+
+using bench::ClusterRunResult;
+using bench::MustFindScenario;
+using bench::RunClusterScenario;
+
+// Restores an environment variable on scope exit, so a mid-test ASSERT
+// cannot leak a pinned value into later tests in the binary (and a caller's
+// own setting survives the test).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    old_value_ = had_old_ ? old : "";
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(name_, old_value_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_value_;
+};
+
+// Shrinks a registry spec to a small cluster the test can run four times
+// over: 6 rows x 2 columns plus 2 TLAs, a short window, and a partition
+// count that actually exercises the row round-robin (rows > partitions - 1).
+ScenarioSpec SmallCluster(ScenarioSpec spec, int partitions) {
+  spec.topology.columns = 2;
+  spec.topology.rows = 6;
+  spec.topology.tla_machines = 2;
+  spec.sim_partitions = partitions;
+  spec.warmup = kSecond / 2;
+  spec.measure = kSecond;  // ScaleScenarioForBench floors here at scale 1
+  spec.trace_count = 4000;
+  return spec;
+}
+
+// Exact equality across the board: integer-time simulation, so a rerun that
+// differs in any bit is a determinism bug, not noise.
+void ExpectIdentical(const ClusterRunResult& a, const ClusterRunResult& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.leaf_digest, b.leaf_digest) << what;
+  EXPECT_EQ(a.mla_digest, b.mla_digest) << what;
+  EXPECT_EQ(a.tla_digest, b.tla_digest) << what;
+  EXPECT_EQ(a.flow_digest, b.flow_digest) << what;
+  EXPECT_EQ(a.completed, b.completed) << what;
+  EXPECT_EQ(a.failed, b.failed) << what;
+  EXPECT_EQ(a.degraded, b.degraded) << what;
+  EXPECT_EQ(a.tla_p99_ms, b.tla_p99_ms) << what;
+  EXPECT_EQ(a.tla_mean_ms, b.tla_mean_ms) << what;
+  EXPECT_EQ(a.mean_busy, b.mean_busy) << what;
+  EXPECT_EQ(a.events_executed, b.events_executed) << what;
+  EXPECT_EQ(a.partitions_used, b.partitions_used) << what;
+}
+
+// Runs `spec` once per thread count and checks every run against the first.
+void ExpectThreadCountInvariant(const ScenarioSpec& spec) {
+  const std::vector<const char*> thread_counts = {"1", "2", "4", "8"};
+  ClusterRunResult baseline;
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    const ScopedEnv threads_guard("PERFISO_SIM_THREADS", thread_counts[i]);
+    const ClusterRunResult result = RunClusterScenario(spec);
+    EXPECT_FALSE(result.fell_back_sequential) << spec.name;
+    EXPECT_EQ(result.partitions_used, spec.sim_partitions) << spec.name;
+    ASSERT_GT(result.completed, 0) << spec.name << " completed no queries";
+    if (i == 0) {
+      baseline = result;
+    } else {
+      ExpectIdentical(baseline, result,
+                      spec.name + " threads=" + thread_counts[i] + " vs 1");
+    }
+  }
+}
+
+TEST(ClusterPartitionDeterminismTest, ConstantLoadDigestsMatchAcrossThreadCounts) {
+  // fig02-style steady state: constant load, blind isolation.
+  ExpectThreadCountInvariant(SmallCluster(MustFindScenario("blind-high"), 4));
+}
+
+TEST(ClusterPartitionDeterminismTest, DiurnalDigestsMatchAcrossThreadCounts) {
+  // fig09/fig10-style shaped load over a whole (compressed) day.
+  ExpectThreadCountInvariant(SmallCluster(MustFindScenario("diurnal-blind"), 4));
+}
+
+TEST(ClusterPartitionDeterminismTest, FlashCrowdDigestsMatchAcrossThreadCounts) {
+  ExpectThreadCountInvariant(
+      SmallCluster(MustFindScenario("flash-crowd-no-isolation"), 3));
+}
+
+TEST(ClusterPartitionDeterminismTest, PartitionedRerunIsBitIdentical) {
+  const ScopedEnv threads_guard("PERFISO_SIM_THREADS", "4");
+  const ScenarioSpec spec = SmallCluster(MustFindScenario("blind-high"), 4);
+  const ClusterRunResult first = RunClusterScenario(spec);
+  const ClusterRunResult second = RunClusterScenario(spec);
+  ExpectIdentical(first, second, "partitioned rerun");
+}
+
+TEST(ClusterPartitionDeterminismTest, PartitionsClampToRowsPlusOne) {
+  // 6 rows can use at most 7 partitions; asking for more must not break
+  // determinism or leave idle shards unaccounted.
+  const ScopedEnv threads_guard("PERFISO_SIM_THREADS", "4");
+  const ScenarioSpec spec = SmallCluster(MustFindScenario("blind-high"), 16);
+  const ClusterRunResult result = RunClusterScenario(spec);
+  EXPECT_EQ(result.partitions_used, 7);
+  EXPECT_GT(result.completed, 0);
+}
+
+TEST(ClusterPartitionDeterminismTest, FaultPlanFallsBackToSequentialRun) {
+  // The partitioned engine does not support fault injection; a fault-plan
+  // registry scenario must fall back — and the fallback must be bit-identical
+  // to an explicitly sequential (sim_partitions = 0) run of the same spec.
+  const ScopedEnv threads_guard("PERFISO_SIM_THREADS", "4");
+  ScenarioSpec partitioned = SmallCluster(MustFindScenario("fault-crash-restart"), 4);
+  const ClusterRunResult fallback = RunClusterScenario(partitioned);
+  EXPECT_TRUE(fallback.fell_back_sequential);
+  EXPECT_EQ(fallback.partitions_used, 1);
+  EXPECT_EQ(fallback.threads_used, 1);
+
+  ScenarioSpec sequential = partitioned;
+  sequential.sim_partitions = 0;
+  const ClusterRunResult plain = RunClusterScenario(sequential);
+  EXPECT_FALSE(plain.fell_back_sequential);
+  ExpectIdentical(fallback, plain, "fault fallback vs explicit sequential");
+  EXPECT_EQ(fallback.faults_injected, plain.faults_injected);
+}
+
+TEST(ClusterPartitionDeterminismTest, SequentialPathIgnoresThreadEnv) {
+  // sim_partitions = 0 never consults PERFISO_SIM_THREADS: the sequential
+  // digests are the pre-partitioning goldens and must not move.
+  ScenarioSpec spec = SmallCluster(MustFindScenario("blind-high"), 0);
+  ClusterRunResult with_env;
+  {
+    const ScopedEnv threads_guard("PERFISO_SIM_THREADS", "8");
+    with_env = RunClusterScenario(spec);
+  }
+  const ScopedEnv threads_guard("PERFISO_SIM_THREADS", "1");
+  const ClusterRunResult without = RunClusterScenario(spec);
+  EXPECT_EQ(with_env.threads_used, 1);
+  ExpectIdentical(with_env, without, "sequential vs PERFISO_SIM_THREADS");
+}
+
+}  // namespace
+}  // namespace perfiso

@@ -24,6 +24,52 @@ FabricConfig TestConfig() {
   return config;
 }
 
+TEST(NetTest, ConfigValidateAcceptsDefaultsAndTestConfig) {
+  EXPECT_TRUE(FabricConfig{}.Validate().ok());
+  EXPECT_TRUE(TestConfig().Validate().ok());
+}
+
+TEST(NetTest, ConfigValidateRejectsNonPositiveBaseLatency) {
+  // Zero propagation delay would also be a zero PDES lookahead: the
+  // partitioned engine's lockstep windows would have zero width and the
+  // window loop would never advance. Validate must reject it up front.
+  FabricConfig config = TestConfig();
+  config.base_latency = 0;
+  Status status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("base_latency"), std::string::npos);
+  config.base_latency = -FromMicros(1);
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(NetTest, ConfigValidateRejectsOtherNonPhysicalSettings) {
+  {
+    FabricConfig config = TestConfig();
+    config.link_rate_bps = 0;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+  {
+    FabricConfig config = TestConfig();
+    config.uplink_oversubscription = 0.5;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+  {
+    FabricConfig config = TestConfig();
+    config.machines_per_rack = 0;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+  {
+    FabricConfig config = TestConfig();
+    config.chunk_bytes = 0;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+  {
+    FabricConfig config = TestConfig();
+    config.request_bytes = 0;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+}
+
 TEST(NetTest, UncontendedFlowPaysSerializationAndPropagation) {
   Simulator sim;
   Fabric fabric(&sim, TestConfig());
